@@ -1,0 +1,139 @@
+// Command labeler runs the full pipeline — matching (optional), merging
+// and naming — over query interfaces described in a JSON file, and prints
+// the labeled integrated interface.
+//
+//	labeler [-match] [-no-instances] [-max-level N] [-summary] file.json
+//	labeler -domain Airline [-summary]
+//
+// The JSON format is an array of schema trees (see qilabel.EncodeTrees):
+//
+//	[
+//	  {"interface": "aa", "root": {"children": [
+//	    {"label": "Adults", "cluster": "c_Adult"},
+//	    {"label": "Children", "cluster": "c_Child"}
+//	  ]}},
+//	  ...
+//	]
+//
+// Fields either carry "cluster" annotations (ground-truth matching) or the
+// -match flag derives clusters from labels and selection-list values.
+// With -domain the built-in evaluation corpus of one of the paper's seven
+// domains is used instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qilabel"
+)
+
+func main() {
+	useMatcher := flag.Bool("match", false, "derive clusters with the matcher instead of trusting annotations")
+	noInstances := flag.Bool("no-instances", false, "disable the instance rules LI6/LI7")
+	maxLevel := flag.Int("max-level", 0, "cap the consistency levels (1=string, 2=+equality, 3=+synonymy)")
+	minFreq := flag.Int("min-freq", 0, "drop fields appearing on fewer than N source interfaces")
+	summary := flag.Bool("summary", false, "print the group/internal-node report instead of only the tree")
+	explain := flag.Bool("explain", false, "print the full label-provenance report")
+	htmlOut := flag.String("html", "", "also write the integrated interface as an HTML form to this file")
+	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
+	fromHTML := flag.Bool("from-html", false, "treat the arguments as HTML pages; extract one interface per <form> (implies -match)")
+	domain := flag.String("domain", "", "use a built-in evaluation domain (Airline, Auto, Book, Job, Real Estate, Car Rental, Hotels)")
+	flag.Parse()
+
+	var sources []*qilabel.Tree
+	switch {
+	case *domain != "":
+		var err error
+		sources, err = qilabel.BuiltinDomain(*domain)
+		if err != nil {
+			fatal(err)
+		}
+	case *fromHTML && flag.NArg() >= 1:
+		*useMatcher = true
+		for _, arg := range flag.Args() {
+			data, err := os.ReadFile(arg)
+			if err != nil {
+				fatal(err)
+			}
+			name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+			sources = append(sources, qilabel.ExtractForms(data, name)...)
+		}
+		if len(sources) == 0 {
+			fatal(fmt.Errorf("no <form> elements found in %d page(s)", flag.NArg()))
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		sources, err = qilabel.DecodeTrees(data)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: labeler [flags] file.json | labeler -from-html page.html... | labeler -domain <name>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var opts []qilabel.Option
+	if *useMatcher {
+		opts = append(opts, qilabel.WithMatcher())
+	}
+	if *noInstances {
+		opts = append(opts, qilabel.WithoutInstances())
+	}
+	if *maxLevel > 0 {
+		opts = append(opts, qilabel.WithMaxLevel(*maxLevel))
+	}
+	if *minFreq > 0 {
+		opts = append(opts, qilabel.WithMinFrequency(*minFreq))
+	}
+	if *lexFile != "" {
+		data, err := os.ReadFile(*lexFile)
+		if err != nil {
+			fatal(err)
+		}
+		extra, err := qilabel.DecodeLexicon(data)
+		if err != nil {
+			fatal(err)
+		}
+		lex := qilabel.DefaultLexicon().Clone()
+		lex.AddFrom(extra)
+		opts = append(opts, qilabel.WithLexicon(lex))
+	}
+
+	res, err := qilabel.Integrate(sources, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("integrated %d interfaces -> %s\n\n", len(sources), res.Class)
+	fmt.Print(res.Tree)
+	if *summary {
+		fmt.Println()
+		fmt.Print(res.Summary())
+	}
+	if *explain {
+		fmt.Println()
+		fmt.Print(res.Explain())
+	}
+	if *htmlOut != "" {
+		title := *domain
+		if title == "" {
+			title = "Integrated Query Interface"
+		}
+		if err := os.WriteFile(*htmlOut, []byte(res.HTML(title)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *htmlOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "labeler:", err)
+	os.Exit(1)
+}

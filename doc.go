@@ -1,0 +1,28 @@
+// Package qilabel is a Go implementation of "Meaningful Labeling of
+// Integrated Query Interfaces" (E. C. Dragut, C. Yu, W. Meng — VLDB 2006).
+//
+// Deep-Web sources in one domain (airline tickets, used cars, books, …)
+// expose form-based query interfaces. After the fields of the different
+// interfaces are matched into clusters and the interfaces are merged into
+// one integrated schema tree, every field and every group of the
+// integrated interface still needs a NAME. This package implements the
+// paper's naming algorithm: it assigns labels that are horizontally
+// consistent (fields inside a group carry mutually consistent labels —
+// all plurals, all "X of Y", …) and vertically consistent (group and
+// super-group titles agree with the fields below them), and classifies
+// the result as consistent, weakly consistent or inconsistent.
+//
+// The one-call entry point is Integrate:
+//
+//	sources := []*qilabel.Tree{ ... }   // one schema tree per interface
+//	res, err := qilabel.Integrate(sources)
+//	if err != nil { ... }
+//	fmt.Print(res.Tree)                 // the labeled integrated interface
+//	fmt.Println(res.Class)              // consistent / weakly consistent / inconsistent
+//
+// Sources either carry ground-truth cluster annotations on their fields
+// (schema.Node.Cluster) or are matched automatically (WithMatcher). The
+// package ships the paper's seven-domain evaluation corpus — see
+// BuiltinDomain — and the cmd/benchmark tool regenerates the paper's
+// Table 6 and Figure 10.
+package qilabel

@@ -1,0 +1,132 @@
+// Conflicts: the naming-conflict machinery of §4.2.3 and §6.1 — homonym
+// repair, labels-as-values (LI 7) and the most-general vs most-descriptive
+// reconciliation (LI 6) — each on a minimal hand-written scenario.
+//
+//	go run ./examples/conflicts
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qilabel"
+)
+
+func main() {
+	homonyms()
+	labelsAsValues()
+	reconcile()
+}
+
+// homonyms reproduces §4.2.3: a naming solution that would read (Job Type,
+// Type of Job) is repaired from a source that uses Employment Type.
+func homonyms() {
+	fmt.Println("— Homonym repair (§4.2.3) —")
+	sources := []*qilabel.Tree{
+		qilabel.NewTree("jobsite1",
+			qilabel.NewGroup("Position",
+				qilabel.NewField("Position Options", "c_Options"),
+				qilabel.NewField("Job Type", "c_JobType"),
+				qilabel.NewField("Type of Job", "c_JobPref"),
+				qilabel.NewField("Company Name", "c_Company"),
+			),
+		),
+		qilabel.NewTree("jobsite2",
+			qilabel.NewGroup("Position",
+				qilabel.NewField("Job Type", "c_JobType"),
+				qilabel.NewField("Employment Type", "c_JobPref"),
+			),
+		),
+	}
+	res, err := qilabel.Integrate(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  c_JobType -> %q, c_JobPref -> %q  (no two fields share a name)\n\n",
+		res.Labels["c_JobType"], res.Labels["c_JobPref"])
+}
+
+// labelsAsValues reproduces §6.1.2: one book source names the binding
+// field after one of its values ("Hardcover"); LI 7 discards it.
+func labelsAsValues() {
+	fmt.Println("— Labels as values, LI 7 (§6.1.2) —")
+	sources := []*qilabel.Tree{
+		qilabel.NewTree("books1",
+			qilabel.NewField("Format", "c_Format", "Hardcover", "Paperback", "Audio CD"),
+			qilabel.NewField("Title", "c_Title"),
+		),
+		qilabel.NewTree("books2",
+			qilabel.NewField("Hardcover", "c_Format"),
+			qilabel.NewField("Title", "c_Title"),
+		),
+		qilabel.NewTree("books3",
+			qilabel.NewField("Binding", "c_Format", "Hardcover", "Paperback"),
+			qilabel.NewField("Title", "c_Title"),
+		),
+		// Two sources name the field after the value: without LI 7 the
+		// frequency criterion would elect "Hardcover".
+		qilabel.NewTree("books4",
+			qilabel.NewField("Hardcover", "c_Format"),
+			qilabel.NewField("Title", "c_Title"),
+		),
+	}
+	res, err := qilabel.Integrate(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with LI7:    c_Format -> %q\n", res.Labels["c_Format"])
+	res2, err := qilabel.Integrate(sources, qilabel.WithoutInstances())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  without:     c_Format -> %q  (the data value can win)\n\n", res2.Labels["c_Format"])
+}
+
+// reconcile reproduces §6.1.1 / Figure 9: Class is the most general label,
+// but its instance domain equals Flight Class's, so LI 6 elects the more
+// descriptive name.
+func reconcile() {
+	fmt.Println("— Most general vs most descriptive, LI 6 (§6.1.1) —")
+	// The class field is an ISOLATED cluster: a single leaf next to the
+	// nested route group, so it is labeled by the representative-name
+	// election of §4.4, where LI 6 applies.
+	sources := []*qilabel.Tree{
+		qilabel.NewTree("air1",
+			qilabel.NewGroup("Trip",
+				qilabel.NewGroup("Route",
+					qilabel.NewField("From", "c_From"),
+					qilabel.NewField("To", "c_To"),
+				),
+				qilabel.NewField("Class", "c_Class", "Economy", "Business", "First"),
+			),
+			qilabel.NewField("Promotion Code", "c_Promo"),
+		),
+		qilabel.NewTree("air2",
+			qilabel.NewGroup("Trip",
+				qilabel.NewGroup("Route",
+					qilabel.NewField("From", "c_From"),
+					qilabel.NewField("To", "c_To"),
+				),
+				qilabel.NewField("Class of Tickets", "c_Class", "Economy"),
+			),
+			qilabel.NewField("Promotion Code", "c_Promo"),
+		),
+		qilabel.NewTree("air3",
+			qilabel.NewGroup("Trip",
+				qilabel.NewGroup("Route",
+					qilabel.NewField("From", "c_From"),
+					qilabel.NewField("To", "c_To"),
+				),
+				qilabel.NewField("Flight Class", "c_Class", "Economy", "Business", "First"),
+			),
+			qilabel.NewField("Promotion Code", "c_Promo"),
+		),
+	}
+	res, err := qilabel.Integrate(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  c_Class -> %q\n", res.Labels["c_Class"])
+	fmt.Println("  (Class heads the hypernymy hierarchy, but its domain is bounded")
+	fmt.Println("   by Flight Class's, so the descriptive label is elected.)")
+}

@@ -1,0 +1,76 @@
+// Globalquery: the step after labeling in the paper's system overview —
+// a query filled in on the integrated interface is translated into
+// subqueries against the individual sources (1:m aggregates are
+// re-aggregated, values are snapped onto each source's predefined
+// domains, and unsupported conditions are reported for post-filtering).
+//
+//	go run ./examples/globalquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"qilabel"
+)
+
+func main() {
+	sources, err := qilabel.BuiltinDomain("Airline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := qilabel.Integrate(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := qilabel.Query{
+		"c_From":   "Chicago",
+		"c_To":     "Seoul",
+		"c_Adult":  "2",
+		"c_Child":  "1",
+		"c_Senior": "1",
+		"c_Class":  "business",
+	}
+	fmt.Println("global query on the integrated interface:")
+	var keys []string
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-10s = %q  (field %q)\n", k, q[k], res.Labels[k])
+	}
+
+	subs := res.Translate(q)
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Interface < subs[j].Interface })
+
+	fmt.Printf("\ntranslated to %d source interfaces (showing the interesting ones):\n", len(subs))
+	shown := 0
+	for _, s := range subs {
+		if len(s.Assignments) == 0 || shown >= 6 {
+			continue
+		}
+		shown++
+		fmt.Printf("\n  %s  (coverage %.0f%%)\n", s.Interface, s.Covered(q)*100)
+		for _, a := range s.Assignments {
+			label := a.Label
+			if label == "" {
+				label = "(unlabeled field)"
+			}
+			note := ""
+			if a.Approximate {
+				note = "  [approximate]"
+			}
+			if len(a.Clusters) > 1 {
+				note += fmt.Sprintf("  [aggregates %s]", strings.Join(a.Clusters, "+"))
+			}
+			fmt.Printf("    %-28s <- %q%s\n", label, a.Value, note)
+		}
+		if len(s.Unsupported) > 0 {
+			fmt.Printf("    post-filter on: %s\n", strings.Join(s.Unsupported, ", "))
+		}
+	}
+}

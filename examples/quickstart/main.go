@@ -1,0 +1,53 @@
+// Quickstart: integrate three tiny airline interfaces and print the
+// labeled integrated interface.
+//
+//	go run ./examples/quickstart
+//
+// The three sources use different naming styles for the same passenger
+// fields; the naming algorithm finds the consistent assignment (Seniors,
+// Adults, Children) by intersecting and unioning the sources' label rows,
+// picks a title for the group from the source interfaces, and classifies
+// the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qilabel"
+)
+
+func main() {
+	sources := []*qilabel.Tree{
+		qilabel.NewTree("aa",
+			qilabel.NewGroup("Passengers",
+				qilabel.NewField("Adults", "c_Adult"),
+				qilabel.NewField("Children", "c_Child"),
+			),
+			qilabel.NewField("Promotion Code", "c_Promo"),
+		),
+		qilabel.NewTree("british",
+			qilabel.NewGroup("How many people are going?",
+				qilabel.NewField("Seniors", "c_Senior"),
+				qilabel.NewField("Adults", "c_Adult"),
+				qilabel.NewField("Children", "c_Child"),
+			),
+		),
+		qilabel.NewTree("vacations",
+			// One aggregate field matching three integrated fields — the
+			// 1:m "Passengers" correspondence of the paper's Figure 2.
+			qilabel.NewMultiField("Passengers", "c_Senior", "c_Adult", "c_Child"),
+			qilabel.NewField("Promotion Code", "c_Promo"),
+		),
+	}
+
+	res, err := qilabel.Integrate(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("integrated %d interfaces — %s\n\n", len(sources), res.Class)
+	fmt.Print(res.Tree)
+	fmt.Println()
+	fmt.Print(res.Summary())
+}

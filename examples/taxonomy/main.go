@@ -1,0 +1,69 @@
+// Taxonomy: the paper's future-work claim (§9) — "our naming framework
+// [is] also pervasive to other integration areas (e.g. concept
+// hierarchies, HTML tables, ontologies)" — demonstrated on merged product
+// taxonomies. A concept hierarchy is just an ordered labeled tree, so the
+// same pipeline integrates three online stores' category trees and names
+// the merged taxonomy consistently.
+//
+//	go run ./examples/taxonomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qilabel"
+)
+
+func main() {
+	sources := []*qilabel.Tree{
+		// Three stores' product taxonomies: same concepts, different
+		// category names and different groupings.
+		qilabel.NewTree("shopzone",
+			qilabel.NewGroup("Electronics",
+				qilabel.NewField("Laptops", "c_Laptop"),
+				qilabel.NewField("Tablets", "c_Tablet"),
+				qilabel.NewField("Phones", "c_Phone"),
+			),
+			qilabel.NewGroup("Books",
+				qilabel.NewField("Fiction", "c_Fiction"),
+				qilabel.NewField("Nonfiction", "c_Nonfiction"),
+			),
+		),
+		qilabel.NewTree("megamart",
+			qilabel.NewGroup("Electronics",
+				qilabel.NewField("Laptops", "c_Laptop"),
+				qilabel.NewField("Tablets", "c_Tablet"),
+				qilabel.NewField("Phones", "c_Phone"),
+				qilabel.NewField("Cameras", "c_Camera"),
+			),
+			qilabel.NewGroup("Books",
+				qilabel.NewField("Fiction", "c_Fiction"),
+			),
+		),
+		qilabel.NewTree("buyit",
+			qilabel.NewGroup("Computers and Gadgets",
+				qilabel.NewField("Notebooks", "c_Laptop"),
+				qilabel.NewField("Tablets", "c_Tablet"),
+			),
+			qilabel.NewGroup("Reading",
+				qilabel.NewField("Fiction", "c_Fiction"),
+				qilabel.NewField("Nonfiction", "c_Nonfiction"),
+				qilabel.NewField("Magazines", "c_Magazine"),
+			),
+		),
+	}
+
+	res, err := qilabel.Integrate(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("merged taxonomy — %s\n\n", res.Class)
+	fmt.Print(res.Tree)
+	fmt.Println()
+	fmt.Println("The category names come out horizontally consistent (all plurals,")
+	fmt.Println("from the stores that agree) and the section titles are selected from")
+	fmt.Println("the source taxonomies by the same inference rules that label query")
+	fmt.Println("interfaces — no code in the pipeline is interface-specific.")
+}

@@ -1,0 +1,3 @@
+module qilabel
+
+go 1.22

@@ -1,0 +1,214 @@
+package dataset
+
+// airlineSpec reproduces the Airline domain: the deepest interfaces of the
+// corpus (avg depth 3.6 in Table 6), heavy super-grouping ("Where and when
+// do you want to travel?"), the Passengers 1:m correspondence of Figure 2,
+// the service-preference vocabulary of Table 4, and a frequency-1 unlabeled
+// group (a frequent-flyer block) that the paper blames for the domain's
+// inconsistent classification and reduced IntAcc.
+func airlineSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Airline",
+		Interfaces:    20,
+		Seed:          0xA1121,
+		UnlabeledLeaf: 0.40,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				Key:       "route",
+				Labels:    []string{"Where do you want to go?", "Route", "-", "Itinerary"},
+				LabelFreq: 0.6,
+				Freq:      1.0,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_From", Freq: 1.0,
+						Variants: []string{"Departing from", "From", "Leaving from", "Departure City"}},
+					{Cluster: "c_To", Freq: 1.0,
+						Variants: []string{"Going to", "To", "Going to", "Arrival City"}},
+				},
+			},
+			{
+				Key:       "ddate",
+				Labels:    []string{"Departure Date", "Departing", "Leaving on", "When do you want to leave?"},
+				LabelFreq: 0.75,
+				Freq:      0.95,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_DepMonth", Freq: 0.95,
+						Variants:  []string{"Month", "Month", "Month", "Month"},
+						Instances: []string{"January", "February", "March", "April"}, InstFreq: 0.7},
+					{Cluster: "c_DepDay", Freq: 0.95,
+						Variants: []string{"Day", "Day", "Day", "Day"}},
+					{Cluster: "c_DepTime", Freq: 0.3,
+						Variants:  []string{"Time", "Time", "Departure Time", "Time"},
+						Instances: []string{"Morning", "Noon", "Evening"}, InstFreq: 0.6},
+				},
+			},
+			{
+				Key:       "rdate",
+				Labels:    []string{"Return Date", "Returning", "Returning on", "When do you want to return?"},
+				LabelFreq: 0.75,
+				Freq:      0.9,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_RetMonth", Freq: 0.95,
+						Variants:  []string{"Month", "Month", "Month", "Month"},
+						Instances: []string{"January", "February", "March", "April"}, InstFreq: 0.7},
+					{Cluster: "c_RetDay", Freq: 0.95,
+						Variants: []string{"Day", "Day", "Day", "Day"}},
+					{Cluster: "c_RetTime", Freq: 0.25,
+						Variants:  []string{"Time", "Time", "Return Time", "Time"},
+						Instances: []string{"Morning", "Noon", "Evening"}, InstFreq: 0.6},
+				},
+			},
+			{
+				// One interface replaces the passenger group with an
+				// unlabeled block mixing passenger counts with its
+				// frequent-flyer program fields. The group occurs once and
+				// has no label, so the integrated passenger node's
+				// candidates cannot cover the extra clusters: the node
+				// stays unlabeled and the inconsistency propagates to the
+				// root (the Airline discussion of §7).
+				Key:       "ffpax",
+				LabelFreq: 0,
+				Freq:      0.1,
+				Exclusive: "pax",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Adult", Freq: 1.0, Variants: []string{"Adults"}},
+					{Cluster: "c_Child", Freq: 1.0, Variants: []string{"Children"}},
+					{Cluster: "c_FFNumber", Freq: 1.0,
+						Variants:  []string{"Frequent Flyer Number"},
+						Instances: []string{"AA", "UA", "DL"}, InstFreq: 1.0},
+					{Cluster: "c_FFTier", Freq: 1.0,
+						Variants:  []string{"Membership Tier"},
+						Instances: []string{"Gold", "Platinum"}, InstFreq: 1.0},
+				},
+			},
+			{
+				Key:           "pax",
+				Exclusive:     "pax",
+				Labels:        []string{"How many people are going?", "Passengers", "Number of Passengers", "Travelers"},
+				LabelFreq:     0.8,
+				Freq:          0.95,
+				OneToMany:     "Passengers",
+				OneToManyFreq: 0.12,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Senior", Freq: 0.45,
+						Variants: []string{"Seniors", "Senior", "Seniors (65+)", "Senior"}},
+					{Cluster: "c_Adult", Freq: 0.95,
+						Variants: []string{"Adults", "Adult", "Adults (18-64)", "Adult"}},
+					{Cluster: "c_Child", Freq: 0.9,
+						Variants: []string{"Children", "Child", "Children (2-17)", "Child"}},
+					{Cluster: "c_Infant", Freq: 0.4,
+						Variants: []string{"Infants", "Infant", "Infants (0-2)", "Infant"}},
+				},
+			},
+			{
+				// A second hyponym: meal preferences, tied to the class
+				// field on the sources that carry it.
+				Key:       "prefq_meal",
+				Labels:    []string{"Meal Preferences"},
+				LabelFreq: 1,
+				Freq:      0.19,
+				Exclusive: "prefs",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Meal", Freq: 1.0,
+						Variants:  []string{"Meal", "Meal Type", "Meal Request", "Special Meal"},
+						Instances: []string{"Vegetarian", "Kosher", "Halal", "Regular"}, InstFreq: 0.7},
+					{Cluster: "c_Class", Freq: 0.9,
+						Variants:  []string{"Class"},
+						Instances: []string{"Economy", "Business", "First"}, InstFreq: 0.75},
+				},
+			},
+			{
+				// The plain service-preference layouts; mutually exclusive
+				// with the question-phrased layouts below, which build the
+				// hypernymy hierarchy of Figure 8 (middle).
+				Key:       "service",
+				Labels:    []string{"Search Options", "Options", "Service Options", "Flight Options"},
+				LabelFreq: 0.6,
+				Freq:      0.35,
+				Flatten:   0.25,
+				Exclusive: "prefs",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Class", Freq: 0.85,
+						Variants:  []string{"Class of Ticket", "Class", "Flight Class", "Preferred Cabin"},
+						Instances: []string{"Economy", "Business", "First"}, InstFreq: 0.75},
+					{Cluster: "c_Airline", Freq: 0.8,
+						Variants: []string{"Preferred Airline", "Airline", "Airline Preference", "Choose an Airline"}},
+					{Cluster: "c_Stops", Freq: 0.55,
+						Variants:  []string{"Max. Number of Stops", "Number of Stops", "Number of Connections", "Stops"},
+						Instances: []string{"0", "1", "2"}, InstFreq: 0.5},
+				},
+			},
+			{
+				// Generic preference question covering class and airline.
+				Key:       "prefq_any",
+				Labels:    []string{"Do you have any preferences?"},
+				LabelFreq: 1,
+				Freq:      0.31,
+				Exclusive: "prefs",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Class", Freq: 1.0,
+						Variants:  []string{"Class"},
+						Instances: []string{"Economy", "Business", "First"}, InstFreq: 0.75},
+					{Cluster: "c_Airline", Freq: 0.9,
+						Variants: []string{"Preferred Airline"}},
+				},
+			},
+			{
+				// Its hyponym over the stop-count side of the preferences.
+				Key:       "prefq_service",
+				Labels:    []string{"What are your service preferences?"},
+				LabelFreq: 1,
+				Freq:      0.33,
+				Exclusive: "prefs",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Class", Freq: 1.0,
+						Variants:  []string{"Class"},
+						Instances: []string{"Economy", "Business", "First"}, InstFreq: 0.75},
+					{Cluster: "c_Stops", Freq: 0.9,
+						Variants:  []string{"Number of Stops"},
+						Instances: []string{"0", "1", "2"}, InstFreq: 0.5},
+				},
+			},
+			{
+				Key:       "trip",
+				Labels:    []string{"Trip Type", "Trip", "-", "Type of Trip"},
+				LabelFreq: 0.55,
+				Freq:      0.55,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_TripType", Freq: 1.0,
+						Variants:  []string{"Trip Type", "Trip Type", "Type of Trip", "Trip Type"},
+						Instances: []string{"One Way", "Round Trip", "Multi City"}, InstFreq: 0.8},
+					{Cluster: "c_Flexible", Freq: 0.45,
+						Variants: []string{"My dates are flexible", "Flexible Dates", "My dates are flexible", "Flexible"}},
+				},
+			},
+			{
+				// The [Return From, Return To] pair four survey participants
+				// found confusing: a rare multi-city return route.
+				Key:       "retroute",
+				Labels:    []string{"Return Route"},
+				LabelFreq: 0.3,
+				Freq:      0.1,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_RetFrom", Freq: 1.0, Variants: []string{"Return From"}},
+					{Cluster: "c_RetTo", Freq: 1.0, Variants: []string{"Return To"}},
+				},
+			},
+		},
+		Supers: []SuperSpec{
+			{
+				Labels:    []string{"Where and when do you want to travel?", "Flight Details", "Itinerary"},
+				LabelFreq: 0.7,
+				GroupKeys: []string{"route", "ddate", "rdate"},
+				Freq:      0.6,
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_Promo", Freq: 0.4,
+				Variants: []string{"Promotional Code", "Promo Code", "Promotion Code", "Discount Code"}},
+			{Cluster: "c_NearbyAirports", Freq: 0.08,
+				Variants: []string{"Include nearby airports"}},
+		},
+	}
+}

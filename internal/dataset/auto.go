@@ -1,0 +1,125 @@
+package dataset
+
+// autoSpec reproduces the Auto domain of Figures 5-6 and Table 3: shallow
+// interfaces (avg depth 2.4), the Make/Model/Keywords configuration behind
+// LI 5, the Year Range group of Table 5, and the Location group of Table 3
+// whose label rows split into {State, City} and {Zip, Distance} halves that
+// no interface links (the partially consistent showcase).
+func autoSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Auto",
+		Interfaces:    20,
+		Seed:          0xA0702,
+		UnlabeledLeaf: 0.12,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				Key:       "makemodel",
+				Labels:    []string{"Make/Model", "Car Information", "Vehicle", "Make and Model"},
+				LabelFreq: 0.6,
+				Freq:      1.0,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Make", Freq: 1.0,
+						Variants:  []string{"Make", "Make", "Brand", "Make"},
+						Instances: []string{"Ford", "Toyota", "Honda", "BMW"}, InstFreq: 0.6},
+					{Cluster: "c_Model", Freq: 0.95,
+						Variants: []string{"Model", "Model", "Model", "Model"}},
+					{Cluster: "c_Keyword", Freq: 0.2,
+						Variants: []string{"Keywords", "Keyword", "Keywords", "Keywords"}},
+				},
+			},
+			{
+				Key:       "year",
+				Labels:    []string{"Year Range", "Year", "Model Year", "Year Range"},
+				LabelFreq: 0.55,
+				Freq:      0.55,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_YearFrom", Freq: 1.0,
+						Variants: []string{"From", "Min", "Year", "From Year"}},
+					{Cluster: "c_YearTo", Freq: 1.0,
+						Variants: []string{"To", "Max", "To Year", "To Year"}},
+				},
+			},
+			{
+				Key:       "price",
+				Labels:    []string{"Price Range", "Price", "Price ($)", "Price Range"},
+				LabelFreq: 0.6,
+				Freq:      0.55,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_PriceMin", Freq: 1.0,
+						Variants: []string{"Minimum", "Min", "Min Price", "Lowest Price"}},
+					{Cluster: "c_PriceMax", Freq: 1.0,
+						Variants: []string{"Maximum", "Max", "Max Price", "Highest Price"}},
+				},
+			},
+			{
+				// The Table 3 group: styles 0-1 label the state/city half,
+				// styles 2-3 label the zip/distance half; all four fields can
+				// co-occur structurally, but no label row bridges the halves.
+				Key:       "location",
+				Labels:    []string{"Location", "Location", "Location", "Search Area"},
+				LabelFreq: 0.7,
+				Freq:      0.65,
+				Flatten:   0.35,
+				Concepts: []ConceptSpec{
+					// Style 1 is the bridging style: it labels fields from
+					// both halves, so the group relation links the {State,
+					// City} rows with the {Zip, Distance} rows and the
+					// integrated group finds a consistent solution (the
+					// Table 3 fragment shows four sources without a bridge,
+					// which is why that fragment is partially consistent).
+					{Cluster: "c_State", Freq: 0.8,
+						Variants: []string{"State", "State", "-", "-"}},
+					{Cluster: "c_City", Freq: 0.7,
+						Variants: []string{"City", "City", "-", "-"}},
+					{Cluster: "c_Zip", Freq: 0.7,
+						Variants: []string{"-", "Zip Code", "Zip Code", "Your Zip"}},
+					{Cluster: "c_Distance", Freq: 0.6,
+						Variants:  []string{"-", "Distance", "Distance", "Within"},
+						Instances: []string{"10 miles", "25 miles", "50 miles"}, InstFreq: 0.5},
+				},
+			},
+			{
+				Key:       "mileage",
+				Labels:    []string{"Mileage", "Mileage Range", "Mileage", "Odometer"},
+				LabelFreq: 0.4,
+				Freq:      0.25,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_MileageMax", Freq: 1.0,
+						Variants: []string{"Maximum Mileage", "Max Mileage", "Mileage under", "Odometer Max"}},
+				},
+			},
+		},
+		Supers: []SuperSpec{
+			{
+				Labels:    []string{"Car Information", "Vehicle Details"},
+				LabelFreq: 0.8,
+				GroupKeys: []string{"makemodel", "year"},
+				Freq:      0.25,
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_Condition", Freq: 0.45,
+				Variants:  []string{"Condition", "New or Used", "Condition", "New/Used"},
+				Instances: []string{"New", "Used", "Certified"}, InstFreq: 0.8},
+			{Cluster: "c_Body", Freq: 0.3,
+				Variants:  []string{"Body Style", "Body Type", "Body", "Style"},
+				Instances: []string{"Sedan", "Coupe", "SUV", "Convertible"}, InstFreq: 0.7},
+			{Cluster: "c_Color", Freq: 0.25,
+				Variants:  []string{"Color", "Exterior Color", "Color", "Colour"},
+				Instances: []string{"Black", "White", "Silver", "Red"}, InstFreq: 0.6},
+			{Cluster: "c_Transmission", Freq: 0.2,
+				Variants:  []string{"Transmission", "Transmission Type", "Transmission", "Transmission"},
+				Instances: []string{"Automatic", "Manual"}, InstFreq: 0.8},
+			{Cluster: "c_Fuel", Freq: 0.15,
+				Variants:  []string{"Fuel Type", "Fuel", "Fuel Type", "Fuel"},
+				Instances: []string{"Gasoline", "Diesel", "Hybrid"}, InstFreq: 0.7},
+			{Cluster: "c_Doors", Freq: 0.12,
+				Variants: []string{"Doors", "Number of Doors", "Doors", "Doors"}},
+		},
+	}
+}

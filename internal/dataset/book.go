@@ -1,0 +1,126 @@
+package dataset
+
+// bookSpec reproduces the Book domain: mostly flat, well-labeled interfaces
+// (LQ 83.3%), the Format/Binding labels-as-values trap of §6.1.2 (some
+// sources label the binding field "Hardcover", which is a value of other
+// sources' Format lists), and a frequency-1 field (Illustrator) accounting
+// for the source-inherited survey errors ("all the errors in the Book
+// integrated interface are due to the input interfaces").
+func bookSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Book",
+		Interfaces:    20,
+		Seed:          0xB0001,
+		UnlabeledLeaf: 0.10,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				Key:       "price",
+				Labels:    []string{"Price Range", "Price", "Price ($)", "Price Range"},
+				LabelFreq: 0.6,
+				Freq:      0.35,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_PriceMin", Freq: 1.0,
+						Variants: []string{"Minimum", "Min", "From", "Low"}},
+					{Cluster: "c_PriceMax", Freq: 1.0,
+						Variants: []string{"Maximum", "Max", "To", "High"}},
+				},
+			},
+			{
+				Key:       "pubdate",
+				Labels:    []string{"Publication Date", "Published", "Publication Year", "Year Published"},
+				LabelFreq: 0.75,
+				Freq:      0.3,
+				Flatten:   0.35,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_PubFrom", Freq: 1.0,
+						Variants: []string{"After", "From", "From Year", "Start Year"}},
+					{Cluster: "c_PubTo", Freq: 1.0,
+						Variants: []string{"Before", "To", "To Year", "End Year"}},
+				},
+			},
+			{
+				Key:       "authorname",
+				Labels:    []string{"Author", "Author Name", "Author", "Writer"},
+				LabelFreq: 0.7,
+				Freq:      0.2,
+				Flatten:   0.45,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_AuthorFirst", Freq: 1.0,
+						Variants: []string{"First Name", "First", "First Name", "Given Name"}},
+					{Cluster: "c_AuthorLast", Freq: 1.0,
+						Variants: []string{"Last Name", "Last", "Last Name", "Family Name"}},
+				},
+			},
+			{
+				Key:       "readerage",
+				Labels:    []string{"Reader Age", "Age Range", "Audience", "Reader Age"},
+				LabelFreq: 0.75,
+				Freq:      0.18,
+				Flatten:   0.3,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_AgeFrom", Freq: 1.0,
+						Variants: []string{"From Age", "Min Age", "Ages from", "From"}},
+					{Cluster: "c_AgeTo", Freq: 1.0,
+						Variants: []string{"To Age", "Max Age", "Ages to", "To"}},
+				},
+			},
+			{
+				// The labels-as-values trap of §6.1.2: a few sources name
+				// the binding field after one of its values.
+				Key:       "formattrap",
+				Labels:    []string{"-"},
+				LabelFreq: 0,
+				Freq:      0.15,
+				Flatten:   1.0,
+				Exclusive: "format",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Format", Freq: 1.0,
+						Variants: []string{"Hardcover"}},
+				},
+			},
+			{
+				Key:       "format",
+				Labels:    []string{"-"},
+				LabelFreq: 0,
+				Freq:      0.45,
+				Flatten:   1.0,
+				Exclusive: "format",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Format", Freq: 1.0,
+						Variants:  []string{"Format", "Binding", "Binding Type", "Format"},
+						Instances: []string{"Hardcover", "Paperback", "Audio CD", "eBook"}, InstFreq: 0.75},
+				},
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_Title", Freq: 0.95,
+				Variants: []string{"Title", "Book Title", "Title", "Title of Book"}},
+			{Cluster: "c_Author", Freq: 0.7,
+				Variants: []string{"Author", "Author", "Author Name", "Writer"}},
+			{Cluster: "c_Keyword", Freq: 0.6,
+				Variants: []string{"Keywords", "Keyword", "Search Terms", "Keywords"}},
+			{Cluster: "c_ISBN", Freq: 0.45,
+				Variants: []string{"ISBN", "ISBN", "ISBN Number", "ISBN"}},
+			{Cluster: "c_Publisher", Freq: 0.35,
+				Variants: []string{"Publisher", "Publisher", "Publisher Name", "Press"}},
+			{Cluster: "c_Subject", Freq: 0.35,
+				Variants:  []string{"Subject", "Category", "Subject", "Topic"},
+				Instances: []string{"Fiction", "History", "Science", "Travel"}, InstFreq: 0.6},
+			{Cluster: "c_Language", Freq: 0.2,
+				Variants:  []string{"Language", "Language", "Language", "Language"},
+				Instances: []string{"English", "Spanish", "French"}, InstFreq: 0.6},
+			{Cluster: "c_Condition", Freq: 0.15,
+				Variants:  []string{"Condition", "Condition", "New or Used", "Condition"},
+				Instances: []string{"New", "Used"}, InstFreq: 0.7},
+			{Cluster: "c_Edition", Freq: 0.12,
+				Variants: []string{"Edition", "Edition", "Edition", "Edition"}},
+			{Cluster: "c_Series", Freq: 0.1,
+				Variants: []string{"Series", "Series Title", "Series", "Series"}},
+			// Frequency-1 field: appears on about one interface only.
+			{Cluster: "c_Illustrator", Freq: 0.06,
+				Variants: []string{"Illustrator"}},
+		},
+	}
+}

@@ -1,0 +1,192 @@
+package dataset
+
+// carRentalSpec reproduces the Car Rental domain: large, weakly labeled
+// interfaces (LQ 52.5%, 10.4 fields on average), deep pick-up/drop-off
+// super-grouping, frequency-1 loyalty-program fields, and the
+// candidate-promotion failure mode of Table 6's discussion: a node whose
+// every candidate label ("Pick-up") also labels its ancestor, leaving the
+// node unlabelable and the interface inconsistent.
+func carRentalSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Car Rental",
+		Interfaces:    20,
+		Seed:          0xCA55E7,
+		UnlabeledLeaf: 0.40,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				// Pick-up location: on some sources labeled "Pick-up" itself,
+				// which is also the only label of the super-group — the
+				// promotion trap.
+				Key:       "ploc",
+				Labels:    []string{"Pick-up", "Pick-up", "Pick-up", "Pick-up"},
+				LabelFreq: 0.5,
+				Freq:      1.0,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_PickCity", Freq: 0.9,
+						Variants: []string{"City", "Pick-up City", "City", "City"}},
+					{Cluster: "c_PickAirport", Freq: 0.5,
+						Variants: []string{"Airport", "Pick-up Airport", "Airport Code", "Airport"}},
+				},
+			},
+			{
+				// On every source that titles this block at all, the title
+				// is the same "Pick-up" that also titles the enclosing
+				// super-group: the integrated node's only candidate label is
+				// held by its ancestor, so the node cannot be labeled and
+				// the candidates are "promoted" — the inconsistency the
+				// paper reports for Car Rental.
+				Key:       "ptime",
+				Labels:    []string{"Pick-up", "Pick-up", "Pick-up", "-"},
+				LabelFreq: 0.55,
+				Freq:      0.95,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_PickDate", Freq: 1.0,
+						Variants: []string{"Date", "Pick-up Date", "Date", "On"}},
+					{Cluster: "c_PickTime", Freq: 0.75,
+						Variants:  []string{"Time", "Pick-up Time", "Time", "At"},
+						Instances: []string{"Morning", "Noon", "Evening"}, InstFreq: 0.5},
+				},
+			},
+			{
+				Key:       "dloc",
+				Labels:    []string{"Drop-off Location", "Drop-off Location", "Return Location", "Drop-off Location"},
+				LabelFreq: 0.5,
+				Freq:      0.9,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_DropCity", Freq: 0.8,
+						Variants: []string{"City", "Drop-off City", "City", "City"}},
+					{Cluster: "c_DropAirport", Freq: 0.45,
+						Variants: []string{"Airport", "Drop-off Airport", "Airport Code", "Airport"}},
+				},
+			},
+			{
+				Key:       "dtime",
+				Labels:    []string{"Drop-off Date", "Drop-off Date", "Drop-off Date and Time", "Date"},
+				LabelFreq: 0.55,
+				Freq:      0.9,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_DropDate", Freq: 1.0,
+						Variants: []string{"Date", "Drop-off Date", "Date", "On"}},
+					{Cluster: "c_DropTime", Freq: 0.7,
+						Variants:  []string{"Time", "Drop-off Time", "Time", "At"},
+						Instances: []string{"Morning", "Noon", "Evening"}, InstFreq: 0.5},
+				},
+			},
+			{
+				Key:       "car",
+				Labels:    []string{"Car Type", "Vehicle", "What kind of car?", "Car Preferences"},
+				LabelFreq: 0.55,
+				Freq:      0.92,
+				Flatten:   0.3,
+				Concepts: []ConceptSpec{
+					// Style 1 writes "Class of Car" and is the only style
+					// labeling the air-conditioning field; its rows link to
+					// the rest of the relation solely through the
+					// content-word EQUALITY Class of Car ~ Car Class — the
+					// Table 4 situation, which the level-cap ablation shows.
+					{Cluster: "c_CarClass", Freq: 0.9,
+						Variants:  []string{"Car Class", "Class of Car", "Car Class", "Vehicle Class"},
+						Instances: []string{"Economy", "Compact", "Midsize", "SUV"}, InstFreq: 0.7},
+					{Cluster: "c_Transmission", Freq: 0.45,
+						Variants:  []string{"Transmission", "-", "Transmission", "Transmission"},
+						Instances: []string{"Automatic", "Manual"}, InstFreq: 0.7},
+					{Cluster: "c_AirConditioning", Freq: 0.6,
+						Variants: []string{"-", "Air Conditioning", "-", "-"}},
+				},
+			},
+			{
+				Key:       "driver",
+				Labels:    []string{"Driver Information", "Driver", "About the Driver", "Driver Details"},
+				LabelFreq: 0.5,
+				Freq:      0.6,
+				Flatten:   0.4,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_DriverAge", Freq: 0.9,
+						Variants:  []string{"Driver Age", "Age", "Age of Driver", "Driver's Age"},
+						Instances: []string{"18-24", "25+"}, InstFreq: 0.6},
+					{Cluster: "c_DriverCountry", Freq: 0.4,
+						Variants: []string{"Country of Residence", "Country", "Residence", "Country"}},
+				},
+			},
+			{
+				// Frequency-1 loyalty program fields (the survey's "discount
+				// programs specific to certain chains").
+				Key:       "loyalty",
+				Labels:    []string{"Hertz Gold Club"},
+				LabelFreq: 0.5,
+				Freq:      0.06,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_HertzGold", Freq: 1.0, Variants: []string{"Hertz Gold Number"}},
+					{Cluster: "c_AvisPref", Freq: 1.0, Variants: []string{"Avis Preferred No"}},
+				},
+			},
+			{
+				Key:       "extras",
+				Labels:    []string{"Extras", "Optional Extras", "Extras", "Extras"},
+				LabelFreq: 0.75,
+				Freq:      0.6,
+				Flatten:   0.2,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_GPS", Freq: 0.8,
+						Variants: []string{"GPS", "Navigation System", "GPS Navigation", "Sat Nav"}},
+					{Cluster: "c_ChildSeat", Freq: 0.75,
+						Variants: []string{"Child Seat", "Child Safety Seat", "Child Seat", "Baby Seat"}},
+					{Cluster: "c_AdditionalDriver", Freq: 0.6,
+						Variants: []string{"Additional Driver", "Extra Driver", "Additional Driver", "Second Driver"}},
+				},
+			},
+			{
+				Key:       "insurance",
+				Labels:    []string{"Insurance", "Insurance Options", "Coverage", "Protection"},
+				LabelFreq: 0.5,
+				Freq:      0.6,
+				Flatten:   0.35,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Coverage", Freq: 1.0,
+						Variants:  []string{"Coverage Type", "Coverage", "Insurance Type", "Protection Level"},
+						Instances: []string{"Basic", "Full", "Premium"}, InstFreq: 0.6},
+					{Cluster: "c_Deductible", Freq: 0.7,
+						Variants: []string{"Deductible", "Excess", "Deductible Amount", "Excess Amount"}},
+				},
+			},
+			{
+				Key:       "rate",
+				Labels:    []string{"Rate Details", "Rates", "Rate Options", "Rate Details"},
+				LabelFreq: 0.45,
+				Freq:      0.45,
+				Flatten:   0.45,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_RateType", Freq: 0.85,
+						Variants:  []string{"Rate Type", "Rate Plan", "Rate Type", "Plan"},
+						Instances: []string{"Daily", "Weekly", "Monthly"}, InstFreq: 0.65},
+					{Cluster: "c_Currency", Freq: 0.35,
+						Variants:  []string{"Currency", "Currency", "Display Currency", "Currency"},
+						Instances: []string{"USD", "EUR", "GBP"}, InstFreq: 0.6},
+				},
+			},
+		},
+		Supers: []SuperSpec{
+			{
+				// The ancestor that swallows the "Pick-up" candidate.
+				Labels:    []string{"Pick-up", "Pick-up", "Pick-up", "Pick-up"},
+				LabelFreq: 0.6,
+				GroupKeys: []string{"ploc", "ptime"},
+				Freq:      0.6,
+			},
+			{
+				Labels:    []string{"Drop-off", "Return", "Drop-off", "Drop-off"},
+				LabelFreq: 0.6,
+				GroupKeys: []string{"dloc", "dtime"},
+				Freq:      0.55,
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_Promo", Freq: 0.5,
+				Variants: []string{"Discount Code", "Promo Code", "Coupon Code", "Promotional Code"}},
+			{Cluster: "c_Company", Freq: 0.45,
+				Variants:  []string{"Rental Company", "Company", "Preferred Company", "Agency"},
+				Instances: []string{"Hertz", "Avis", "Budget", "Enterprise"}, InstFreq: 0.6},
+		},
+	}
+}

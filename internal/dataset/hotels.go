@@ -1,0 +1,172 @@
+package dataset
+
+// hotelsSpec reproduces the Hotels domain: thirty interfaces, medium
+// labeling quality (LQ 70.1%), check-in/check-out grouping, occupancy
+// groups, and several chain-specific frequency-1 fields (the survey's
+// "Wyndham ByRequest No" complaint) that HA discounts as source-inherited.
+func hotelsSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Hotels",
+		Interfaces:    30,
+		Seed:          0x07E75,
+		UnlabeledLeaf: 0.24,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				Key:       "where",
+				Labels:    []string{"Location", "Destination", "Location", "Location"},
+				LabelFreq: 0.7,
+				Freq:      0.95,
+				Flatten:   0.2,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_City", Freq: 0.95,
+						Variants: []string{"City", "City", "City", "Town"}},
+					{Cluster: "c_State", Freq: 0.45,
+						Variants: []string{"State", "State", "State/Province", "State"}},
+					{Cluster: "c_Country", Freq: 0.45,
+						Variants: []string{"Country", "Country", "Country", "Country"}},
+					{Cluster: "c_Landmark", Freq: 0.25,
+						Variants: []string{"Near Landmark", "Landmark", "Near", "Landmark"}},
+				},
+			},
+			{
+				Key:       "checkin",
+				Labels:    []string{"Check-in", "Check-in Date", "Arrival", "Arriving"},
+				LabelFreq: 0.65,
+				Freq:      0.9,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_InMonth", Freq: 1.0,
+						Variants:  []string{"Month", "Month", "Month", "Month"},
+						Instances: []string{"January", "February", "March"}, InstFreq: 0.55},
+					{Cluster: "c_InDay", Freq: 1.0,
+						Variants: []string{"Day", "Day", "Day", "Day"}},
+				},
+			},
+			{
+				Key:       "checkout",
+				Labels:    []string{"Check-out", "Check-out Date", "Departure", "Departing"},
+				LabelFreq: 0.65,
+				Freq:      0.85,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_OutMonth", Freq: 1.0,
+						Variants:  []string{"Month", "Month", "Month", "Month"},
+						Instances: []string{"January", "February", "March"}, InstFreq: 0.55},
+					{Cluster: "c_OutDay", Freq: 1.0,
+						Variants: []string{"Day", "Day", "Day", "Day"}},
+				},
+			},
+			{
+				Key:           "occupancy",
+				Labels:        []string{"Who is staying?", "Guests", "Occupancy", "Number of Guests"},
+				LabelFreq:     0.7,
+				Freq:          0.85,
+				OneToMany:     "Guests",
+				OneToManyFreq: 0.1,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Adults", Freq: 0.95,
+						Variants: []string{"Adults", "Adult", "Adults (18+)", "Adult"}},
+					{Cluster: "c_Children", Freq: 0.8,
+						Variants: []string{"Children", "Child", "Children (0-17)", "Child"}},
+					{Cluster: "c_Rooms", Freq: 0.6,
+						Variants: []string{"Rooms", "Room", "Number of Rooms", "Room"}},
+				},
+			},
+			{
+				Key:       "nights",
+				Labels:    []string{"Stay", "Length of Stay", "-", "Stay Details"},
+				LabelFreq: 0.35,
+				Freq:      0.3,
+				Flatten:   0.55,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Nights", Freq: 1.0,
+						Variants: []string{"Nights", "Number of Nights", "Nights", "Night Count"}},
+				},
+			},
+			{
+				Key:       "prefs",
+				Labels:    []string{"Hotel Preferences", "Preferences", "Do you have any preferences?", "Preferences"},
+				LabelFreq: 0.8,
+				Freq:      0.6,
+				Flatten:   0.15,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Rating", Freq: 0.6,
+						Variants:  []string{"Star Rating", "Star Rating", "Star Rating", "-"},
+						Instances: []string{"2 stars", "3 stars", "4 stars", "5 stars"}, InstFreq: 0.7},
+					{Cluster: "c_PriceMax", Freq: 0.75,
+						Variants: []string{"Max Price", "Max Rate", "Price up to", "Maximum Price"}},
+					{Cluster: "c_Chain", Freq: 0.4,
+						Variants:  []string{"Hotel Chain", "Hotel Chain", "Preferred Chain", "Brand"},
+						Instances: []string{"Hilton", "Marriott", "Hyatt", "Wyndham"}, InstFreq: 0.6},
+					{Cluster: "c_Smoking", Freq: 0.4,
+						Variants:  []string{"Smoking Preference", "Smoking", "Smoking Room", "Smoking/Non-smoking"},
+						Instances: []string{"Smoking", "Non-smoking"}, InstFreq: 0.7},
+					// Breakfast is labeled by style 3 only; its rows link to
+					// the rest exclusively through the SYNONYM pair
+					// Max Rate ~ Maximum Price, so covering this cluster
+					// needs Definition 2's third level.
+					{Cluster: "c_Breakfast", Freq: 0.7,
+						Variants: []string{"-", "-", "-", "Free Breakfast"}},
+				},
+			},
+			{
+				// Chain-specific frequency-1 fields (survey complaints).
+				Key:       "chainprog",
+				Labels:    []string{"Wyndham ByRequest"},
+				LabelFreq: 0.4,
+				Freq:      0.05,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_WyndhamNo", Freq: 1.0, Variants: []string{"Wyndham ByRequest No"}},
+					{Cluster: "c_HiltonHonors", Freq: 1.0, Variants: []string{"Hilton HHonors Number"}},
+				},
+			},
+			{
+				Key:       "room",
+				Labels:    []string{"Room Preferences", "Room", "Room Options", "Room Preferences"},
+				LabelFreq: 0.6,
+				Freq:      0.45,
+				Flatten:   0.3,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_BedType", Freq: 0.85,
+						Variants:  []string{"Bed Type", "Bed", "Bed Type", "Bed Size"},
+						Instances: []string{"King", "Queen", "Double", "Twin"}, InstFreq: 0.7},
+					{Cluster: "c_View", Freq: 0.4,
+						Variants:  []string{"View", "Room View", "View", "Preferred View"},
+						Instances: []string{"Ocean", "City", "Garden"}, InstFreq: 0.6},
+					{Cluster: "c_Accessible", Freq: 0.35,
+						Variants: []string{"Accessible Room", "Accessibility", "Accessible Room", "ADA Accessible"}},
+				},
+			},
+			{
+				Key:       "amenities",
+				Labels:    []string{"Amenities", "Hotel Amenities", "Amenities", "Facilities"},
+				LabelFreq: 0.6,
+				Freq:      0.4,
+				Flatten:   0.35,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Pool", Freq: 0.75,
+						Variants: []string{"Pool", "Swimming Pool", "Pool", "Pool"}},
+					{Cluster: "c_Gym", Freq: 0.6,
+						Variants: []string{"Fitness Center", "Gym", "Fitness Center", "Fitness Room"}},
+					{Cluster: "c_Wifi", Freq: 0.65,
+						Variants: []string{"Free WiFi", "WiFi", "Internet Access", "Free WiFi"}},
+					{Cluster: "c_Parking", Freq: 0.5,
+						Variants: []string{"Parking", "Free Parking", "Parking", "Parking"}},
+				},
+			},
+		},
+		Supers: []SuperSpec{
+			{
+				Labels:    []string{"When do you want to stay?", "Dates of Stay", "Dates"},
+				LabelFreq: 0.65,
+				GroupKeys: []string{"checkin", "checkout", "nights"},
+				Freq:      0.35,
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_Promo", Freq: 0.25,
+				Variants: []string{"Promotion Code", "Promo Code", "Discount Code", "Corporate Code"}},
+			{Cluster: "c_HotelName", Freq: 0.3,
+				Variants: []string{"Hotel Name", "Property Name", "Hotel", "Name of Hotel"}},
+		},
+	}
+}

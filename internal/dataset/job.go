@@ -1,0 +1,71 @@
+package dataset
+
+// jobSpec reproduces the Job domain: the flattest interfaces of the corpus
+// (avg depth 2.1, one group in the integrated interface, fifteen root
+// fields), the Job Category label-election example of §3.2.1 ({Category,
+// Job Category, Area of Work, Function}), and the Job Type vs Job
+// Preferences homonym discussion of the introduction.
+func jobSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Job",
+		Interfaces:    20,
+		Seed:          0x10B01,
+		UnlabeledLeaf: 0.13,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				Key:       "salary",
+				Labels:    []string{"Salary Range", "Salary", "Compensation", "Desired Salary"},
+				LabelFreq: 0.6,
+				Freq:      0.45,
+				Flatten:   0.25,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_SalaryMin", Freq: 1.0,
+						Variants: []string{"Minimum", "Min", "From", "Minimum Salary"}},
+					{Cluster: "c_SalaryMax", Freq: 1.0,
+						Variants: []string{"Maximum", "Max", "To", "Maximum Salary"}},
+				},
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_Keyword", Freq: 0.85,
+				Variants: []string{"Keywords", "Keyword", "Search Terms", "Keywords"}},
+			{Cluster: "c_Title", Freq: 0.5,
+				Variants: []string{"Job Title", "Title", "Position Title", "Job Title"}},
+			{Cluster: "c_Category", Freq: 0.6,
+				Variants:  []string{"Job Category", "Category", "Area of Work", "Function"},
+				Instances: []string{"Engineering", "Sales", "Marketing", "Finance"}, InstFreq: 0.6},
+			{Cluster: "c_JobType", Freq: 0.5,
+				Variants:  []string{"Job Type", "Type of Job", "Job Type", "Employment Type"},
+				Instances: []string{"Full Time", "Part Time", "Contract"}, InstFreq: 0.7},
+			{Cluster: "c_Company", Freq: 0.25,
+				Variants: []string{"Company Name", "Company", "Employer", "Company Name"}},
+			{Cluster: "c_City", Freq: 0.55,
+				Variants: []string{"City", "City", "City", "Town"}},
+			{Cluster: "c_State", Freq: 0.55,
+				Variants:  []string{"State", "State", "State", "Province"},
+				Instances: []string{"IL", "NY", "CA", "TX"}, InstFreq: 0.5},
+			{Cluster: "c_Zip", Freq: 0.22,
+				Variants: []string{"Zip Code", "Zip", "Postal Code", "Zip Code"}},
+			{Cluster: "c_Radius", Freq: 0.2,
+				Variants:  []string{"Within", "Radius", "Distance", "Search Radius"},
+				Instances: []string{"5 miles", "10 miles", "25 miles"}, InstFreq: 0.6},
+			{Cluster: "c_Experience", Freq: 0.22,
+				Variants:  []string{"Experience Level", "Experience", "Years of Experience", "Experience"},
+				Instances: []string{"Entry Level", "Mid Level", "Senior"}, InstFreq: 0.6},
+			{Cluster: "c_Education", Freq: 0.18,
+				Variants:  []string{"Education Level", "Education", "Degree", "Education"},
+				Instances: []string{"High School", "Bachelor", "Master", "PhD"}, InstFreq: 0.6},
+			{Cluster: "c_Industry", Freq: 0.2,
+				Variants:  []string{"Industry", "Industry", "Sector", "Industry"},
+				Instances: []string{"Technology", "Healthcare", "Retail"}, InstFreq: 0.5},
+			{Cluster: "c_DatePosted", Freq: 0.18,
+				Variants:  []string{"Date Posted", "Posted Within", "Posting Date", "Date Posted"},
+				Instances: []string{"Last 24 hours", "Last 7 days", "Last 30 days"}, InstFreq: 0.7},
+			{Cluster: "c_Country", Freq: 0.12,
+				Variants: []string{"Country", "Country", "Country", "Country"}},
+			{Cluster: "c_Relocation", Freq: 0.08,
+				Variants: []string{"Willing to relocate", "Relocation", "Willing to relocate", "Relocate"}},
+		},
+	}
+}

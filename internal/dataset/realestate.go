@@ -1,0 +1,175 @@
+package dataset
+
+// realEstateSpec reproduces the Real Estate domain of Figures 3 and 11:
+// medium-depth interfaces, the {State, City} / {Minimum, Maximum} groups,
+// the isolated Garage cluster, and the Lease Rate group whose second field
+// is unlabeled on every source interface — the one field the algorithm can
+// never label (FldAcc 96.4% in Table 6), understandable to users only from
+// its sibling "To".
+func realEstateSpec() *DomainSpec {
+	return &DomainSpec{
+		Name:          "Real Estate",
+		Interfaces:    20,
+		Seed:          0x0E57A7E,
+		UnlabeledLeaf: 0.13,
+		Styles:        4,
+		Groups: []GroupSpec{
+			{
+				// The Figure 7 alternative layout: a few sources group the
+				// zip with a search radius under "Area". Its clusters
+				// overlap the zone group's, so the integrated location
+				// group spans both and the Location label needs LI 3 (it is
+				// a hypernym of Area) to cover the radius field.
+				Key:       "searcharea",
+				Labels:    []string{"Area"},
+				LabelFreq: 1,
+				Freq:      0.3,
+				Exclusive: "where",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Zip", Freq: 1.0,
+						Variants: []string{"Zip Code", "Zip", "Zip Code", "Postal Code"}},
+					{Cluster: "c_Radius", Freq: 0.9,
+						Variants:  []string{"Locate within", "Within", "Search Radius", "Within"},
+						Instances: []string{"5 miles", "10 miles", "25 miles"}, InstFreq: 0.6},
+				},
+			},
+			{
+				Key:       "zone",
+				Labels:    []string{"Location", "Location", "Property Location", "Location"},
+				LabelFreq: 0.6,
+				Freq:      0.9,
+				Flatten:   0.45,
+				Exclusive: "where",
+				Concepts: []ConceptSpec{
+					{Cluster: "c_State", Freq: 0.7,
+						Variants:  []string{"State", "State", "State", "State"},
+						Instances: []string{"IL", "NY", "CA", "FL"}, InstFreq: 0.5},
+					{Cluster: "c_City", Freq: 0.65,
+						Variants: []string{"City", "City", "City", "Town"}},
+					{Cluster: "c_County", Freq: 0.35,
+						Variants: []string{"County", "County", "County", "County"}},
+					{Cluster: "c_Zip", Freq: 0.3,
+						Variants: []string{"Zip Code", "Zip", "Zip Code", "Postal Code"}},
+				},
+			},
+			{
+				Key:       "price",
+				Labels:    []string{"Price Range", "Price", "Asking Price", "Price Range"},
+				LabelFreq: 0.65,
+				Freq:      0.8,
+				Flatten:   0.45,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_PriceMin", Freq: 1.0,
+						Variants: []string{"Minimum", "Min Price", "From", "Low"}},
+					{Cluster: "c_PriceMax", Freq: 1.0,
+						Variants: []string{"Maximum", "Max Price", "To", "High"}},
+				},
+			},
+			{
+				Key:       "rooms",
+				Labels:    []string{"Property Characteristics", "Rooms", "Home Features", "Characteristics"},
+				LabelFreq: 0.55,
+				Freq:      0.7,
+				Flatten:   0.25,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Bedrooms", Freq: 1.0,
+						Variants:  []string{"Bedrooms", "Beds", "Min Bedrooms", "Bedrooms"},
+						Instances: []string{"1+", "2+", "3+", "4+"}, InstFreq: 0.6},
+					{Cluster: "c_Bathrooms", Freq: 1.0,
+						Variants:  []string{"Bathrooms", "Baths", "Min Bathrooms", "Bathrooms"},
+						Instances: []string{"1+", "2+", "3+"}, InstFreq: 0.6},
+				},
+			},
+			{
+				// Garage renders as a lone field; inside the property
+				// super-group it becomes the isolated cluster of Figure 3.
+				Key:       "garage",
+				LabelFreq: 0,
+				Freq:      0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_Garage", Freq: 1.0,
+						Variants:  []string{"Garage", "Garage Spaces", "Garage Spaces", "Parking"},
+						Instances: []string{"1 car", "2 cars", "3+ cars"}, InstFreq: 0.9},
+				},
+			},
+			{
+				Key:       "sqft",
+				Labels:    []string{"Square Footage", "Size", "Square Feet", "Living Area"},
+				LabelFreq: 0.55,
+				Freq:      0.4,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_SqftMin", Freq: 1.0,
+						Variants: []string{"Min Sq Ft", "Min", "From", "Minimum Size"}},
+					{Cluster: "c_SqftMax", Freq: 1.0,
+						Variants: []string{"Max Sq Ft", "Max", "To", "Maximum Size"}},
+				},
+			},
+			{
+				Key:       "yearbuilt",
+				Labels:    []string{"Year Built", "Built", "Year Built", "Construction Year"},
+				LabelFreq: 0.55,
+				Freq:      0.35,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_YearFrom", Freq: 1.0,
+						Variants: []string{"From", "After", "From Year", "Built After"}},
+					{Cluster: "c_YearTo", Freq: 1.0,
+						Variants: []string{"To", "Before", "To Year", "Built Before"}},
+				},
+			},
+			{
+				// The Lease Rate group of Figure 11: the upper bound is
+				// unlabeled on every source that carries it; it only has
+				// instances, so users infer it from the sibling "To".
+				Key:       "lease",
+				Labels:    []string{"Lease Rate", "Lease", "Monthly Rent", "Lease Rate"},
+				LabelFreq: 0.7,
+				Freq:      0.55,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_LeaseTo", Freq: 1.0,
+						Variants: []string{"To", "To", "Up To", "To"}},
+					{Cluster: "c_LeaseFrom", Freq: 0.8,
+						Variants:  []string{"-"},
+						Instances: []string{"$500", "$1000", "$1500", "$2000"}, InstFreq: 1.0},
+				},
+			},
+			{
+				Key:       "availability",
+				Labels:    []string{"Property Availability", "Availability", "Available", "Property Availability"},
+				LabelFreq: 0.5,
+				Freq:      0.2,
+				Flatten:   0.5,
+				Concepts: []ConceptSpec{
+					{Cluster: "c_OpenHouse", Freq: 0.8,
+						Variants: []string{"Open House", "Open House Only", "Open House", "Open Houses"}},
+					{Cluster: "c_NewListing", Freq: 0.7,
+						Variants: []string{"New Listings", "New Listings Only", "Listed Within", "New Listings"}},
+				},
+			},
+		},
+		Supers: []SuperSpec{
+			{
+				Labels:    []string{"Property Characteristics", "About the Property"},
+				LabelFreq: 0.85,
+				GroupKeys: []string{"rooms", "garage", "sqft", "yearbuilt"},
+				Freq:      0.6,
+			},
+		},
+		Root: []ConceptSpec{
+			{Cluster: "c_PropertyType", Freq: 0.7,
+				Variants:  []string{"Property Type", "Type of Property", "Home Type", "Property Type"},
+				Instances: []string{"House", "Condo", "Townhouse", "Land"}, InstFreq: 0.75},
+			{Cluster: "c_Acreage", Freq: 0.18,
+				Variants: []string{"Acreage", "Lot Size", "Acreage", "Lot Acreage"}},
+			{Cluster: "c_Pool", Freq: 0.12,
+				Variants: []string{"Pool", "Swimming Pool", "Pool", "Pool"}},
+			{Cluster: "c_Fireplace", Freq: 0.1,
+				Variants: []string{"Fireplace", "Fireplace", "Fireplace", "Fireplace"}},
+			{Cluster: "c_MLS", Freq: 0.2,
+				Variants: []string{"MLS Number", "MLS ID", "MLS #", "Listing Number"}},
+			{Cluster: "c_SchoolDistrict", Freq: 0.07,
+				Variants: []string{"School District"}},
+		},
+	}
+}

@@ -1,0 +1,32 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Domains returns the specifications of the seven evaluation domains, in
+// Table 6's order.
+func Domains() []*DomainSpec {
+	return []*DomainSpec{
+		airlineSpec(),
+		autoSpec(),
+		bookSpec(),
+		jobSpec(),
+		realEstateSpec(),
+		carRentalSpec(),
+		hotelsSpec(),
+	}
+}
+
+// ByName returns the named domain's specification (case-insensitive,
+// spaces optional: "realestate" matches "Real Estate").
+func ByName(name string) (*DomainSpec, error) {
+	canon := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+	for _, d := range Domains() {
+		if strings.ToLower(strings.ReplaceAll(d.Name, " ", "")) == canon {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: unknown domain %q", name)
+}

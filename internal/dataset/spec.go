@@ -1,0 +1,361 @@
+// Package dataset synthesizes the evaluation corpus: collections of query
+// interfaces over the paper's seven real-world domains (Airline, Auto,
+// Book, Job, Real Estate, Car Rental, Hotels — 20 interfaces each, 30 for
+// Hotels). The original 150 interfaces were crawled from the 2005 Web and
+// are unrecoverable, so each domain is regenerated from a hand-written
+// specification that reproduces the phenomena the paper measures:
+//
+//   - per-source naming styles (plural vs singular, "X of Y" vs "Y X",
+//     gerund+preposition, question phrasings) aligned within a group, so
+//     the intersect-and-union structure of §4.1 arises;
+//   - partial coverage: no interface carries every field, some fields occur
+//     on a single interface (the frequency-1 fields the survey flagged);
+//   - unlabeled nodes at a domain-specific rate matching Table 6's LQ
+//     column;
+//   - 1:m correspondences ("Passengers" matching four passenger-count
+//     fields), selection-list instances, labels-as-values traps and
+//     homonym traps;
+//   - grouping and super-grouping, giving the per-domain depth profile of
+//     Table 6.
+//
+// Generation is deterministic: a fixed per-domain seed drives a local PRNG,
+// so every run (tests, benches, examples) sees the same corpus.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"qilabel/internal/schema"
+)
+
+// ConceptSpec describes one semantic field concept of a domain.
+type ConceptSpec struct {
+	// Cluster is the ground-truth cluster name.
+	Cluster string
+	// Variants are the alternative labels of the concept. Within a group,
+	// the variant slices of all concepts are aligned: index k across the
+	// group is one coherent naming style, so a source that picks style k
+	// produces a consistent row for the group relation. A "-" entry means
+	// the style leaves this concept unlabeled.
+	Variants []string
+	// Instances is the selection-list domain, attached with probability
+	// InstFreq.
+	Instances []string
+	// Freq is the probability a source includes the concept (1 = always).
+	// A concept with Freq just above 1/N materializes on about one
+	// interface: the too-specific fields of the survey.
+	Freq float64
+	// InstFreq is the probability the instances accompany the field.
+	InstFreq float64
+}
+
+// GroupSpec is a semantic unit of concepts laid out together.
+type GroupSpec struct {
+	// Key identifies the group inside the domain spec (for super-groups).
+	Key string
+	// Labels are the alternative labels of the group node, aligned with
+	// the style index like concept variants; "-" means unlabeled.
+	Labels []string
+	// LabelFreq is the probability the group node carries a label at all.
+	LabelFreq float64
+	// Concepts are the group's fields.
+	Concepts []ConceptSpec
+	// Freq is the probability a source renders the group (given which, its
+	// concepts are sampled individually).
+	Freq float64
+	// Flatten is the probability that a source renders the group's fields
+	// directly under their parent without the group node (flat interfaces).
+	Flatten float64
+	// OneToMany, when non-empty, is a label that some sources use for a
+	// single aggregated field matching all the group's clusters (the
+	// "Passengers" 1:m of Figure 2), used with probability OneToManyFreq.
+	OneToMany     string
+	OneToManyFreq float64
+	// Exclusive names a mutual-exclusion class: per interface, at most one
+	// group of each class renders (alternative layouts of overlapping
+	// concepts; two groups sharing a cluster must never co-render, since a
+	// source cannot have two fields in one cluster).
+	Exclusive string
+}
+
+// SuperSpec nests groups under a super-group node.
+type SuperSpec struct {
+	// Labels / LabelFreq: as in GroupSpec.
+	Labels    []string
+	LabelFreq float64
+	// GroupKeys are the keys of the member groups.
+	GroupKeys []string
+	// Freq is the probability a source that renders at least two member
+	// groups wraps them in the super-group node.
+	Freq float64
+}
+
+// DomainSpec is the full description of a domain.
+type DomainSpec struct {
+	// Name is the domain name as used in Table 6.
+	Name string
+	// Interfaces is the number of query interfaces to generate.
+	Interfaces int
+	// Seed drives the deterministic generator.
+	Seed uint64
+	// UnlabeledLeaf is the probability that an included field loses its
+	// label (tuning the LQ column of Table 6).
+	UnlabeledLeaf float64
+	// Styles is the number of naming styles sources draw from; variant
+	// slices are indexed modulo their length.
+	Styles int
+	// Groups are the regular groups.
+	Groups []GroupSpec
+	// Supers are the super-groups.
+	Supers []SuperSpec
+	// Root are the concepts rendered directly under the root.
+	Root []ConceptSpec
+}
+
+// rng is a splitmix64 PRNG: tiny, deterministic, and dependency-free.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// subRNG derives an independent stream for one (interface, component)
+// pair, so editing one group's specification never perturbs the draws of
+// another — the corpus stays stable under local tuning. The state passes
+// through the splitmix64 finalizer: without it, per-interface states sit
+// at multiples of the splitmix gamma and their draws correlate badly.
+func subRNG(seed uint64, iface int, key string) *rng {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for _, b := range []byte(key) {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	z := h + seed + (uint64(iface)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &rng{state: z}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// styleBound reports whether the concept's labeling depends on the style
+// (some styles deliberately leave it unlabeled).
+func styleBound(variants []string) bool {
+	for _, v := range variants {
+		if v == "-" {
+			return true
+		}
+	}
+	return false
+}
+
+// variant resolves a concept's label for a style ("-" means unlabeled).
+func variant(variants []string, style int) string {
+	if len(variants) == 0 {
+		return ""
+	}
+	v := variants[style%len(variants)]
+	if v == "-" {
+		return ""
+	}
+	return v
+}
+
+// Generate materializes the domain's interfaces.
+func (d *DomainSpec) Generate() []*schema.Tree {
+	trees := make([]*schema.Tree, 0, d.Interfaces)
+	for i := 0; i < d.Interfaces; i++ {
+		trees = append(trees, d.generateOne(i))
+	}
+	return trees
+}
+
+func (d *DomainSpec) generateOne(idx int) *schema.Tree {
+	iface := fmt.Sprintf("%s%02d", strings.ToLower(strings.ReplaceAll(d.Name, " ", "")), idx)
+	tree := schema.NewTree(iface)
+	styles := d.Styles
+	if styles < 1 {
+		styles = 1
+	}
+
+	rendered := make(map[string]*schema.Node) // group key -> rendered node (or nil if flattened)
+	groupNodes := make(map[string][]*schema.Node)
+
+	exclusiveUsed := make(map[string]bool)
+	for gi := range d.Groups {
+		g := &d.Groups[gi]
+		r := subRNG(d.Seed, idx, "group/"+g.Key)
+		if g.Exclusive != "" && exclusiveUsed[g.Exclusive] {
+			continue
+		}
+		if r.float() >= g.Freq {
+			continue
+		}
+		if g.Exclusive != "" {
+			exclusiveUsed[g.Exclusive] = true
+		}
+		style := r.intn(styles)
+
+		// 1:m aggregation: one field standing for the whole group.
+		if g.OneToMany != "" && r.float() < g.OneToManyFreq {
+			clusters := make([]string, 0, len(g.Concepts))
+			for _, c := range g.Concepts {
+				clusters = append(clusters, c.Cluster)
+			}
+			leaf := schema.NewMultiField(g.OneToMany, clusters...)
+			groupNodes[g.Key] = []*schema.Node{leaf}
+			rendered[g.Key] = leaf
+			continue
+		}
+
+		var fields []*schema.Node
+		for ci := range g.Concepts {
+			c := &g.Concepts[ci]
+			if r.float() >= c.Freq {
+				continue
+			}
+			label := variant(c.Variants, style)
+			// Rare (frequency-1-ish) fields and fields of rare groups are
+			// branded, site-specific fields and always carry their label;
+			// style-bound concepts (a "-" variant) model a deliberate
+			// design decision and are not additionally noised. Common
+			// fields lose their label at the domain's unlabeled rate.
+			if label != "" && c.Freq >= 0.2 && g.Freq >= 0.2 &&
+				!styleBound(c.Variants) && r.float() < d.UnlabeledLeaf {
+				label = ""
+			}
+			leaf := schema.NewField(label, c.Cluster)
+			if len(c.Instances) > 0 && r.float() < c.InstFreq {
+				leaf.Instances = append([]string(nil), c.Instances...)
+			}
+			fields = append(fields, leaf)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) == 1 || r.float() < g.Flatten {
+			// Rendered flat: fields are attached directly where the group
+			// would have gone.
+			groupNodes[g.Key] = fields
+			continue
+		}
+		label := ""
+		if r.float() < g.LabelFreq {
+			label = variant(g.Labels, style)
+		}
+		node := schema.NewGroup(label, fields...)
+		groupNodes[g.Key] = []*schema.Node{node}
+		rendered[g.Key] = node
+	}
+
+	// Super-groups wrap their member group nodes.
+	attached := make(map[string]bool)
+	for si := range d.Supers {
+		sp := &d.Supers[si]
+		r := subRNG(d.Seed, idx, fmt.Sprintf("super/%d", si))
+		var members []*schema.Node
+		var keys []string
+		for _, k := range sp.GroupKeys {
+			if ns, ok := groupNodes[k]; ok && !attached[k] {
+				members = append(members, ns...)
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) < 2 || r.float() >= sp.Freq {
+			continue
+		}
+		label := ""
+		if r.float() < sp.LabelFreq {
+			label = variant(sp.Labels, r.intn(styles))
+		}
+		node := schema.NewGroup(label, members...)
+		tree.Root.Children = append(tree.Root.Children, node)
+		for _, k := range keys {
+			attached[k] = true
+		}
+	}
+	for gi := range d.Groups {
+		k := d.Groups[gi].Key
+		if ns, ok := groupNodes[k]; ok && !attached[k] {
+			tree.Root.Children = append(tree.Root.Children, ns...)
+			attached[k] = true
+		}
+	}
+
+	// Root-level concepts.
+	for ci := range d.Root {
+		c := &d.Root[ci]
+		r := subRNG(d.Seed, idx, "root/"+c.Cluster)
+		if r.float() >= c.Freq {
+			continue
+		}
+		style := r.intn(styles)
+		label := variant(c.Variants, style)
+		if label != "" && c.Freq >= 0.2 && r.float() < d.UnlabeledLeaf {
+			label = ""
+		}
+		leaf := schema.NewField(label, c.Cluster)
+		if len(c.Instances) > 0 && r.float() < c.InstFreq {
+			leaf.Instances = append([]string(nil), c.Instances...)
+		}
+		tree.Root.Children = append(tree.Root.Children, leaf)
+	}
+
+	// Degenerate safety: an interface must have at least one field.
+	if len(tree.Root.Children) == 0 && len(d.Groups) > 0 {
+		g := &d.Groups[0]
+		for ci := range g.Concepts {
+			c := &g.Concepts[ci]
+			tree.Root.Children = append(tree.Root.Children,
+				schema.NewField(variant(c.Variants, 0), c.Cluster))
+		}
+	}
+	return tree
+}
+
+// SourceStats summarizes a generated corpus for Table 6 columns 2-5.
+type SourceStats struct {
+	Interfaces   int
+	AvgLeaves    float64
+	AvgInternal  float64
+	AvgDepth     float64
+	LabelQuality float64 // LQ: average fraction of labeled nodes
+}
+
+// Stats computes the source statistics of a corpus.
+func Stats(trees []*schema.Tree) SourceStats {
+	st := SourceStats{Interfaces: len(trees)}
+	if len(trees) == 0 {
+		return st
+	}
+	for _, t := range trees {
+		leaves, internal := t.CountNodes()
+		st.AvgLeaves += float64(leaves)
+		st.AvgInternal += float64(internal)
+		st.AvgDepth += float64(t.Depth())
+		st.LabelQuality += t.LabeledRatio()
+	}
+	n := float64(len(trees))
+	st.AvgLeaves /= n
+	st.AvgInternal /= n
+	st.AvgDepth /= n
+	st.LabelQuality /= n
+	return st
+}

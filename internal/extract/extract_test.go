@@ -1,0 +1,211 @@
+package extract
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qilabel/internal/render"
+	"qilabel/internal/schema"
+)
+
+const airlineForm = `<!DOCTYPE html>
+<html><head><title>Cheap Flights</title>
+<style>body { color: red; }</style>
+<script>var x = "<form>not a form</form>";</script>
+</head>
+<body>
+<h1>Search flights</h1>
+<form id="flightsearch" action="/search" method="get">
+  <fieldset>
+    <legend>Where do you want to go?</legend>
+    <label for="from">Departing from</label>
+    <input type="text" id="from" name="from">
+    <label for="to">Going to</label>
+    <input type="text" id="to" name="to">
+  </fieldset>
+  <fieldset>
+    <legend>Passengers</legend>
+    <label>Adults <input type="number" name="adults"></label>
+    <label>Children <input type="number" name="children"></label>
+  </fieldset>
+  <label for="class">Class of Ticket</label>
+  <select id="class" name="class">
+    <option value="">Select one</option>
+    <option>Economy</option>
+    <option>Business</option>
+    <option value="F">First</option>
+  </select>
+  Trip type:
+  <input type="radio" name="trip" value="One Way">
+  <input type="radio" name="trip" value="Round Trip">
+  <input type="hidden" name="csrf" value="xyz">
+  <input type="submit" value="Search">
+</form>
+</body></html>`
+
+func TestFormsAirline(t *testing.T) {
+	trees := Forms(airlineForm, "cheapflights")
+	if len(trees) != 1 {
+		t.Fatalf("got %d forms, want 1", len(trees))
+	}
+	tr := trees[0]
+	if tr.Interface != "flightsearch" {
+		t.Errorf("interface = %q, want the form id", tr.Interface)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var labels []string
+	for _, l := range tr.Leaves() {
+		labels = append(labels, l.Label)
+	}
+	want := []string{"Departing from", "Going to", "Adults", "Children", "Class of Ticket", "Trip type"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("leaf labels = %q, want %q", labels, want)
+	}
+
+	groups := tr.InternalNodes()
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if groups[0].Label != "Where do you want to go?" || groups[1].Label != "Passengers" {
+		t.Errorf("group labels = %q, %q", groups[0].Label, groups[1].Label)
+	}
+
+	// The select's instances, without the placeholder.
+	classField := tr.Leaves()[4]
+	if !reflect.DeepEqual(classField.Instances, []string{"Economy", "Business", "First"}) {
+		t.Errorf("class instances = %v", classField.Instances)
+	}
+	// The radio pair collapses to one field with its values as instances.
+	tripField := tr.Leaves()[5]
+	if !reflect.DeepEqual(tripField.Instances, []string{"One Way", "Round Trip"}) {
+		t.Errorf("trip instances = %v", tripField.Instances)
+	}
+}
+
+func TestFormsSkipsChrome(t *testing.T) {
+	html := `<form>
+		<input type="hidden" name="h" value="1">
+		<input type="submit" value="Go">
+		<input type="button" value="Reset">
+		<input type="image" src="go.png">
+		<label for="q">Query</label><input id="q" type="text">
+	</form>`
+	trees := Forms(html, "x")
+	if len(trees) != 1 || len(trees[0].Leaves()) != 1 {
+		t.Fatalf("chrome inputs must be skipped; got %d fields", len(trees[0].Leaves()))
+	}
+}
+
+func TestFormsMultipleAndNaming(t *testing.T) {
+	html := `<form><input type="text" name="a"></form>
+		<form name="advanced"><input type="text" name="b"></form>
+		<form><input type="text" name="c"></form>`
+	trees := Forms(html, "site")
+	if len(trees) != 3 {
+		t.Fatalf("got %d forms, want 3", len(trees))
+	}
+	if trees[0].Interface != "site" || trees[1].Interface != "advanced" || trees[2].Interface != "site#3" {
+		t.Errorf("names = %q, %q, %q", trees[0].Interface, trees[1].Interface, trees[2].Interface)
+	}
+}
+
+func TestFormsEmptyAndMalformed(t *testing.T) {
+	if got := Forms("<p>no forms here</p>", "x"); len(got) != 0 {
+		t.Errorf("pages without forms yield nothing, got %d", len(got))
+	}
+	// Unterminated constructs must not panic and must not loop.
+	for _, bad := range []string{
+		"<form><input type=text name=a",
+		"<form><!-- unterminated",
+		"<form><select><option>A",
+		"<form><fieldset><legend>L",
+		"<form></form",
+		"< form>",
+	} {
+		Forms(bad, "x")
+	}
+}
+
+func TestFormsLayoutFieldsetsPruned(t *testing.T) {
+	html := `<form>
+		<fieldset><legend>Empty</legend><input type="submit"></fieldset>
+		<fieldset><legend>Real</legend><input type="text" name="a"></fieldset>
+	</form>`
+	trees := Forms(html, "x")
+	groups := trees[0].InternalNodes()
+	if len(groups) != 1 || groups[0].Label != "Real" {
+		t.Errorf("empty fieldsets must be pruned; got %d groups", len(groups))
+	}
+}
+
+func TestUnescape(t *testing.T) {
+	if got := unescape("Adults &amp; Children &lt;18&gt;"); got != "Adults & Children <18>" {
+		t.Errorf("unescape = %q", got)
+	}
+	if got := unescape("plain"); got != "plain" {
+		t.Errorf("unescape changed plain text: %q", got)
+	}
+}
+
+// TestRenderExtractRoundTrip: rendering a labeled tree and extracting it
+// back preserves the structure, labels and instances — the renderer and
+// extractor agree on what a query form is.
+func TestRenderExtractRoundTrip(t *testing.T) {
+	orig := schema.NewTree("integrated",
+		schema.NewGroup("Passengers",
+			schema.NewField("Adults", "c_Adult"),
+			schema.NewField("Children", "c_Child"),
+		),
+		schema.NewGroup("Preferences",
+			schema.NewGroup("Service",
+				schema.NewField("Class", "c_Class", "Economy", "Business"),
+			),
+			schema.NewField("Airline", "c_Airline"),
+		),
+		schema.NewField("Promo Code", "c_Promo"),
+	)
+	page := render.HTML(orig, render.Options{Title: "RT"})
+	trees := Forms(page, "rt")
+	if len(trees) != 1 {
+		t.Fatalf("got %d forms, want 1", len(trees))
+	}
+	got := trees[0]
+	if !structurallyEqual(orig.Root, got.Root) {
+		t.Errorf("round trip changed the tree:\noriginal:\n%s\nextracted:\n%s", orig, got)
+	}
+}
+
+// structurallyEqual compares labels, nesting and instances (clusters are
+// not representable in HTML and are ignored).
+func structurallyEqual(a, b *schema.Node) bool {
+	if strings.TrimSpace(a.Label) != strings.TrimSpace(b.Label) {
+		return false
+	}
+	if a.IsLeaf() != b.IsLeaf() {
+		return false
+	}
+	if a.IsLeaf() {
+		if len(a.Instances) != len(b.Instances) {
+			return false
+		}
+		for i := range a.Instances {
+			if a.Instances[i] != b.Instances[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !structurallyEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+package extract
+
+import "testing"
+
+// FuzzForms throws arbitrary bytes at the HTML tokenizer and form
+// extractor: no input may panic, hang, or produce an invalid schema tree.
+func FuzzForms(f *testing.F) {
+	for _, seed := range []string{
+		airlineForm,
+		"<form><input type=text name=a></form>",
+		"<form><fieldset><legend>G</legend><select><option>A</select></fieldset>",
+		"<form><label>L<input></label></form>",
+		"<!--<form>--><form></form>",
+		"<script><form></script>",
+		"<form", "</form>", "<<>>", "&&&&", "<a b=c d='e\" f>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		for _, tree := range Forms(html, "fuzz") {
+			if err := tree.Validate(); err != nil {
+				t.Errorf("extracted tree invalid for %q: %v", html, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package extract builds schema trees from HTML pages containing query
+// forms — the interface-extraction substrate the pipeline's first step
+// depends on ([11, 26] in the paper: "query interfaces are identified,
+// extracted from the relevant Web pages").
+//
+// The package brings its own minimal HTML tokenizer (the standard library
+// has none): start/end tags with attributes, text, comments, doctype, and
+// raw-text elements (script/style). It is not a full HTML5 parser — it
+// handles the well-formed subset query forms are written in, which is all
+// the extractor needs; renderer output round-trips exactly.
+package extract
+
+import "strings"
+
+// tokenKind discriminates tokenizer output.
+type tokenKind int
+
+const (
+	tokenText tokenKind = iota
+	tokenStartTag
+	tokenEndTag
+	tokenSelfClosing
+)
+
+// token is one HTML token.
+type token struct {
+	kind tokenKind
+	// name is the lower-cased tag name (tags only).
+	name string
+	// attrs maps lower-cased attribute names to their (unescaped) values.
+	attrs map[string]string
+	// text is the unescaped character data (text tokens only).
+	text string
+}
+
+// voidElements never take end tags in HTML.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow their content verbatim until the closing tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// tokenize splits an HTML document into tokens. Malformed input degrades
+// gracefully: unterminated constructs consume the rest of the input as
+// text, unknown entities pass through verbatim.
+func tokenize(src string) []token {
+	var out []token
+	i := 0
+	n := len(src)
+	emitText := func(s string) {
+		if s != "" {
+			out = append(out, token{kind: tokenText, text: unescape(s)})
+		}
+	}
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			emitText(src[i:])
+			break
+		}
+		emitText(src[i : i+lt])
+		i += lt
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				i = n
+			} else {
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = n
+			} else {
+				i += end + 1
+			}
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = n
+				break
+			}
+			name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+			out = append(out, token{kind: tokenEndTag, name: name})
+			i += end + 1
+		default:
+			tok, consumed, ok := parseTag(src[i:])
+			if !ok {
+				emitText(src[i : i+1])
+				i++
+				break
+			}
+			i += consumed
+			out = append(out, tok)
+			// Raw-text elements: consume verbatim until the end tag.
+			if tok.kind == tokenStartTag && rawTextElements[tok.name] {
+				closer := "</" + tok.name
+				idx := strings.Index(strings.ToLower(src[i:]), closer)
+				if idx < 0 {
+					i = n
+					break
+				}
+				i += idx
+				end := strings.IndexByte(src[i:], '>')
+				if end < 0 {
+					i = n
+				} else {
+					out = append(out, token{kind: tokenEndTag, name: tok.name})
+					i += end + 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseTag parses a start tag beginning at src[0] == '<'. It returns the
+// token, the number of bytes consumed, and whether parsing succeeded.
+func parseTag(src string) (token, int, bool) {
+	i := 1
+	n := len(src)
+	start := i
+	for i < n && isNameByte(src[i]) {
+		i++
+	}
+	if i == start {
+		return token{}, 0, false
+	}
+	tok := token{kind: tokenStartTag, name: strings.ToLower(src[start:i]), attrs: map[string]string{}}
+	for {
+		for i < n && isSpace(src[i]) {
+			i++
+		}
+		if i >= n {
+			return tok, i, true // unterminated tag: accept what we have
+		}
+		if src[i] == '>' {
+			i++
+			break
+		}
+		if src[i] == '/' && i+1 < n && src[i+1] == '>' {
+			tok.kind = tokenSelfClosing
+			i += 2
+			break
+		}
+		// Attribute name.
+		aStart := i
+		for i < n && src[i] != '=' && src[i] != '>' && src[i] != '/' && !isSpace(src[i]) {
+			i++
+		}
+		name := strings.ToLower(src[aStart:i])
+		if name == "" {
+			i++ // stray byte; skip it
+			continue
+		}
+		for i < n && isSpace(src[i]) {
+			i++
+		}
+		value := ""
+		if i < n && src[i] == '=' {
+			i++
+			for i < n && isSpace(src[i]) {
+				i++
+			}
+			if i < n && (src[i] == '"' || src[i] == '\'') {
+				q := src[i]
+				i++
+				vStart := i
+				for i < n && src[i] != q {
+					i++
+				}
+				value = src[vStart:i]
+				if i < n {
+					i++
+				}
+			} else {
+				vStart := i
+				for i < n && !isSpace(src[i]) && src[i] != '>' {
+					i++
+				}
+				value = src[vStart:i]
+			}
+		}
+		tok.attrs[name] = unescape(value)
+	}
+	if voidElements[tok.name] {
+		tok.kind = tokenSelfClosing
+	}
+	return tok, i, true
+}
+
+func isNameByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '-' || b == ':'
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}
+
+// unescape resolves the HTML entities that occur in form markup. Unknown
+// entities pass through verbatim.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	replacer := strings.NewReplacer(
+		"&lt;", "<",
+		"&gt;", ">",
+		"&quot;", `"`,
+		"&#34;", `"`,
+		"&apos;", "'",
+		"&#39;", "'",
+		"&nbsp;", " ",
+		"&amp;", "&", // must come last conceptually; Replacer scans left-to-right per position
+	)
+	return replacer.Replace(s)
+}

@@ -1,0 +1,102 @@
+package extract
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := tokenize(`<p class="x">Hello &amp; bye</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3", len(toks))
+	}
+	if toks[0].kind != tokenStartTag || toks[0].name != "p" || toks[0].attrs["class"] != "x" {
+		t.Errorf("start tag = %+v", toks[0])
+	}
+	if toks[1].kind != tokenText || toks[1].text != "Hello & bye" {
+		t.Errorf("text = %+v", toks[1])
+	}
+	if toks[2].kind != tokenEndTag || toks[2].name != "p" {
+		t.Errorf("end tag = %+v", toks[2])
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	toks := tokenize(`<input type=text id='a' name="b c" disabled>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	tok := toks[0]
+	if tok.kind != tokenSelfClosing { // input is a void element
+		t.Errorf("input should be self-closing, got %v", tok.kind)
+	}
+	want := map[string]string{"type": "text", "id": "a", "name": "b c", "disabled": ""}
+	for k, v := range want {
+		if tok.attrs[k] != v {
+			t.Errorf("attr %s = %q, want %q", k, tok.attrs[k], v)
+		}
+	}
+}
+
+func TestTokenizeSelfClosingSlash(t *testing.T) {
+	toks := tokenize(`<br/><div/>`)
+	if len(toks) != 2 || toks[0].kind != tokenSelfClosing || toks[1].kind != tokenSelfClosing {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizeCommentsAndDoctype(t *testing.T) {
+	toks := tokenize(`<!DOCTYPE html><!-- a <form> in a comment -->text`)
+	if len(toks) != 1 || toks[0].kind != tokenText || toks[0].text != "text" {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizeRawText(t *testing.T) {
+	toks := tokenize(`<script>if (a < b) { x = "<form>"; }</script><p>after</p>`)
+	// Script content must not produce tag tokens.
+	for _, tok := range toks {
+		if tok.kind == tokenStartTag && tok.name == "form" {
+			t.Error("script content leaked as tags")
+		}
+	}
+	last := toks[len(toks)-1]
+	if last.kind != tokenEndTag || last.name != "p" {
+		t.Errorf("document after raw text lost: %+v", toks)
+	}
+}
+
+func TestTokenizeStrayAngleBracket(t *testing.T) {
+	toks := tokenize(`a < b and <em>c</em>`)
+	var text string
+	for _, tok := range toks {
+		if tok.kind == tokenText {
+			text += tok.text
+		}
+	}
+	if text != "a < b and c" {
+		t.Errorf("text = %q", text)
+	}
+}
+
+// Property: the tokenizer never panics and always terminates on arbitrary
+// input — it will see broken markup from the wild web.
+func TestTokenizeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		tokenize(s)
+		Forms(s, "fuzz")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments beyond quick's generator.
+	for _, s := range []string{
+		"<", "<>", "</>", "<a", "<a ", "<a b", "<a b=", "<a b='", `<a b="`,
+		"<script>", "<script>x", "<!--", "<!", "<?", "<<<>>>", "<a/><//a>",
+		"<form><fieldset><fieldset></form>", "<select><select></select>",
+	} {
+		tokenize(s)
+		Forms(s, "fuzz")
+	}
+}

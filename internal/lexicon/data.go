@@ -1,0 +1,407 @@
+package lexicon
+
+import "sync"
+
+var (
+	defaultOnce sync.Once
+	defaultLex  *Lexicon
+)
+
+// Default returns the embedded knowledge base shared by the whole pipeline.
+// The same instance is returned on every call; it must be treated as
+// read-only.
+func Default() *Lexicon {
+	defaultOnce.Do(func() { defaultLex = build() })
+	return defaultLex
+}
+
+// build assembles the embedded knowledge base. Entries fall into three
+// groups: irregular inflections, synonym sets, and hypernym (IS-A) edges.
+// The general-English section covers every relationship the paper's worked
+// examples depend on; the domain sections cover the vocabulary of the seven
+// evaluation domains (Airline, Auto, Book, Job, Real Estate, Car Rental,
+// Hotels).
+func build() *Lexicon {
+	l := New()
+
+	// ---- Irregular inflections -------------------------------------------
+	irregulars := [][2]string{
+		{"children", "child"},
+		{"people", "person"},
+		{"men", "man"},
+		{"women", "woman"},
+		{"feet", "foot"},
+		{"teeth", "tooth"},
+		{"mice", "mouse"},
+		{"geese", "goose"},
+		{"leaves", "leaf"},
+		{"criteria", "criterion"},
+		{"data", "datum"},
+		{"indices", "index"},
+		{"bedrooms", "bedroom"},
+		{"going", "go"},
+		{"leaving", "leave"},
+		{"departing", "depart"},
+		{"returning", "return"},
+		{"arriving", "arrive"},
+		{"traveling", "travel"},
+		{"travelling", "travel"},
+		{"preferred", "prefer"},
+		{"wanted", "want"},
+		{"paid", "pay"},
+		{"built", "build"},
+		{"sold", "sell"},
+		{"bought", "buy"},
+	}
+	for _, p := range irregulars {
+		l.AddIrregular(p[0], p[1])
+	}
+
+	// ---- General English ----------------------------------------------------
+	// Synonym sets used by Definition 1's examples and by cross-interface
+	// label variation in the seven domains.
+	synsets := [][]string{
+		{"area", "field", "domain"},
+		{"study", "work"},
+		{"job", "position", "employment", "occupation"},
+		{"type", "kind", "category", "sort"},
+		{"prefer", "preference", "preferred"},
+		{"start", "begin", "beginning"},
+		{"end", "finish", "ending"},
+		{"min", "minimum", "lowest", "least"},
+		{"max", "maximum", "highest", "most"},
+		{"price", "cost", "rate"},
+		{"city", "town"},
+		{"state", "province"},
+		{"zip", "zipcode", "postcode", "postal"},
+		{"depart", "departure", "leave", "leaving"},
+		{"return", "returning"},
+		{"arrive", "arrival", "arriving"},
+		{"destination", "dest"},
+		{"origin", "source"},
+		{"date", "day"},
+		{"make", "brand", "manufacturer"},
+		{"auto", "automobile", "car", "vehicle"},
+		{"stop", "connection", "stopover", "layover"},
+		{"senior", "elder"},
+		{"adult", "grownup"},
+		{"child", "kid", "minor"},
+		{"infant", "baby"},
+		{"passenger", "traveler", "traveller"},
+		{"airline", "carrier"},
+		{"company", "employer", "firm"},
+		{"salary", "pay", "wage", "compensation"},
+		{"keyword", "term"},
+		{"title", "name"},
+		{"author", "writer"},
+		{"publisher", "press"},
+		{"format", "binding"},
+		{"subject", "topic"},
+		{"guest", "occupant"},
+		{"room", "accommodation"},
+		{"hotel", "lodging", "property"},
+		{"amenity", "feature", "facility"},
+		{"bathroom", "bath"},
+		{"bedroom", "bed"},
+		// In query-interface vocabulary "Within" names a search radius
+		// ("Within: 25 miles"), so it joins the distance synset.
+		{"distance", "radius", "within"},
+		{"near", "nearby"},
+		{"location", "place", "locale"},
+		{"pickup", "pick"},
+		{"dropoff", "drop"},
+		{"mileage", "mile", "odometer"},
+		{"year", "yr"},
+		{"number", "count", "quantity", "num", "no"},
+		{"search", "find", "lookup"},
+		{"nonstop", "direct"},
+		{"trip", "journey", "travel"},
+		{"check", "checkin"},
+		{"condo", "condominium"},
+		{"apartment", "flat"},
+		{"acreage", "lot"},
+		{"currency", "money"},
+		{"description", "detail", "information", "info"},
+		{"experience", "background"},
+		{"degree", "education", "qualification"},
+		{"industry", "sector"},
+		{"full", "fulltime"},
+		{"part", "parttime"},
+		{"isbn", "issn"},
+		{"edition", "version"},
+		{"discount", "deal", "saving"},
+		{"smoking", "smoker"},
+		{"size", "capacity"},
+		{"garage", "parking"},
+		// Broader e-commerce / search vocabulary, so the knowledge base
+		// generalizes beyond the seven evaluation domains.
+		{"buy", "purchase"},
+		{"sell", "vend"},
+		{"ship", "deliver", "delivery", "shipping"},
+		{"order", "purchase order"},
+		{"item", "article", "product"},
+		{"quantity", "amount"},
+		{"total", "sum"},
+		{"phone", "telephone"},
+		{"email", "mail"},
+		{"address", "street address"},
+		{"first", "given"},
+		{"last", "family", "surname"},
+		{"username", "login"},
+		{"password", "passphrase"},
+		{"gender", "sex"},
+		{"birth", "birthday", "birthdate"},
+		{"age", "years old"},
+		{"photo", "picture", "image"},
+		{"movie", "film"},
+		{"song", "track"},
+		{"artist", "performer"},
+		{"doctor", "physician"},
+		{"lawyer", "attorney"},
+		{"store", "shop"},
+		{"big", "large"},
+		{"small", "little"},
+		{"cheap", "inexpensive"},
+		{"expensive", "costly"},
+		{"new", "brand new"},
+		{"used", "secondhand", "preowned"},
+		{"fast", "quick", "rapid"},
+		{"free", "complimentary"},
+		{"available", "in stock"},
+		{"required", "mandatory"},
+		{"optional", "elective"},
+		{"monthly", "per month"},
+		{"weekly", "per week"},
+		{"daily", "per day"},
+		{"yearly", "annual", "annually"},
+		{"nonsmoking", "smoke free"},
+		{"pet", "animal"},
+		{"kitchen", "kitchenette"},
+		{"balcony", "terrace"},
+		{"ocean", "sea"},
+		{"view", "vista"},
+		{"wifi", "wireless internet", "internet"},
+		{"breakfast", "morning meal"},
+		{"gym", "fitness"},
+		{"spa", "wellness"},
+		{"luggage", "baggage"},
+		{"ticket", "fare ticket"},
+		{"seat", "seating"},
+		{"gate", "boarding gate"},
+		{"airport", "airfield"},
+		{"flight number", "flight no"},
+		{"confirmation", "booking reference"},
+		{"reservation", "booking"},
+		{"cancel", "cancellation"},
+		{"deposit", "down payment"},
+		{"mortgage", "home loan"},
+		{"rent", "rental"},
+		{"landlord", "owner"},
+		{"tenant", "renter"},
+		{"utility", "utilities"},
+		{"furnished", "with furniture"},
+		{"storage", "storage space"},
+		{"warranty", "guarantee"},
+		{"engine", "motor"},
+		{"gearbox", "transmission"},
+		{"highway", "freeway", "motorway"},
+		{"gas", "gasoline", "petrol"},
+		{"resume", "cv", "curriculum vitae"},
+		{"skill", "competency"},
+		{"benefit", "perk"},
+		{"remote", "telecommute", "work from home"},
+		{"intern", "trainee"},
+		{"manager", "supervisor"},
+		{"staff", "personnel"},
+		{"hire", "recruit"},
+		{"apply", "application"},
+		{"deadline", "due date"},
+		{"genre", "literary category"},
+		{"chapter", "section"},
+		{"page", "leaf page"},
+		{"review", "rating review"},
+		{"bestseller", "best seller"},
+	}
+	for _, s := range synsets {
+		l.AddSynonyms(s...)
+	}
+
+	// ---- Hypernym (IS-A) edges ----------------------------------------------
+	// parent (more general) <- child (more specific). These drive Definition
+	// 1's token-level hypernymy, the hypernymy-hierarchy scenario (LI3/LI4)
+	// and the isolated-cluster RAN hierarchy (§4.4).
+	hyper := [][2]string{
+		// location generalizes the address components (LI2/Figure 7 example).
+		{"location", "address"},
+		{"location", "area"},
+		{"location", "region"},
+		{"location", "city"},
+		{"location", "state"},
+		{"location", "country"},
+		{"location", "county"},
+		{"location", "neighborhood"},
+		{"location", "zip"},
+		{"region", "county"},
+		{"area", "zip"},
+		{"area", "neighborhood"},
+		// time.
+		{"time", "date"},
+		{"time", "hour"},
+		{"date", "month"},
+		{"date", "year"},
+		{"date", "weekday"},
+		// people hierarchy (airline passenger types).
+		{"person", "passenger"},
+		{"person", "adult"},
+		{"person", "child"},
+		{"person", "senior"},
+		{"person", "infant"},
+		{"person", "guest"},
+		{"person", "traveler"},
+		{"passenger", "adult"},
+		{"passenger", "child"},
+		{"passenger", "senior"},
+		{"passenger", "infant"},
+		{"adult", "senior"},
+		{"guest", "adult"},
+		{"guest", "child"},
+		// vehicles.
+		{"vehicle", "car"},
+		{"vehicle", "truck"},
+		{"vehicle", "van"},
+		{"vehicle", "suv"},
+		{"vehicle", "motorcycle"},
+		{"car", "sedan"},
+		{"car", "coupe"},
+		{"car", "convertible"},
+		// category / function abstraction (the Job Category example: Category
+		// and Function are hypernyms of the descriptive labels).
+		{"category", "function"},
+		{"attribute", "category"},
+		// class generalizations (Flight Class example, Figure 9). Note that
+		// "cabin" is deliberately unrelated to "class": the paper's §4.4
+		// example requires Preferred Cabin to head its own hierarchy.
+		{"service", "class"},
+		// money.
+		{"amount", "price"},
+		{"amount", "salary"},
+		{"amount", "fare"},
+		{"price", "fare"},
+		{"price", "rent"},
+		// lodging.
+		{"building", "hotel"},
+		{"building", "house"},
+		{"building", "apartment"},
+		{"room", "suite"},
+		{"property", "house"},
+		{"property", "condo"},
+		{"property", "apartment"},
+		{"property", "townhouse"},
+		{"property", "land"},
+		// publications.
+		{"publication", "book"},
+		{"publication", "magazine"},
+		{"publication", "journal"},
+		{"book", "paperback"},
+		{"book", "hardcover"},
+		{"work", "book"},
+		// generic information words: "information" and "detail" generalize
+		// descriptive concepts.
+		{"information", "description"},
+		{"information", "keyword"},
+		{"information", "name"},
+		{"criteria", "keyword"},
+		// travel.
+		{"trip", "flight"},
+		{"trip", "cruise"},
+		{"service", "flight"},
+		{"travel", "departure"},
+		{"travel", "return"},
+		{"travel", "arrival"},
+		// preferences generalize concrete preference kinds.
+		{"preference", "airline"},
+		// employment.
+		{"work", "job"},
+		{"job", "internship"},
+		// range and bounds.
+		{"range", "min"},
+		{"range", "max"},
+		{"number", "quantity"},
+		// Broader IS-A edges for generalization beyond the seven domains.
+		{"contact", "phone"},
+		{"contact", "email"},
+		{"contact", "address"},
+		{"name", "first"},
+		{"name", "last"},
+		{"person", "doctor"},
+		{"person", "lawyer"},
+		{"person", "manager"},
+		{"person", "tenant"},
+		{"person", "landlord"},
+		{"animal", "dog"},
+		{"animal", "cat"},
+		{"pet", "dog"},
+		{"pet", "cat"},
+		{"media", "movie"},
+		{"media", "song"},
+		{"media", "photo"},
+		{"publication", "newspaper"},
+		{"room", "kitchen"},
+		{"room", "bathroom"},
+		{"room", "bedroom"},
+		{"meal", "breakfast"},
+		{"meal", "lunch"},
+		{"meal", "dinner"},
+		{"payment", "deposit"},
+		{"payment", "rent"},
+		{"loan", "mortgage"},
+		{"document", "resume"},
+		{"document", "passport"},
+		{"document", "license"},
+		{"amenity", "wifi"},
+		{"amenity", "pool"},
+		{"amenity", "gym"},
+		{"amenity", "spa"},
+		{"amenity", "balcony"},
+		{"vehicle", "bus"},
+		{"vehicle", "bicycle"},
+		{"transportation", "vehicle"},
+		{"transportation", "flight"},
+		{"transportation", "train"},
+		{"fee", "deposit"},
+		{"charge", "fee"},
+		{"time", "deadline"},
+		{"rating", "star"},
+		{"service", "meal"},
+	}
+	for _, h := range hyper {
+		l.AddHypernym(h[0], h[1])
+	}
+
+	// Plain vocabulary words (lemmas) that carry no relations but must be
+	// recognized so BaseForm resolves their inflections against the
+	// vocabulary instead of guessing.
+	vocabOnly := []string{
+		"from", "to", "going", "one", "way", "round",
+		"model", "color", "colour", "transmission", "engine", "fuel", "door",
+		"interior", "exterior", "condition", "seller", "dealer", "owner",
+		"stock", "vin", "trim", "style", "body",
+		"airport", "departure", "arrival", "ticket", "fare", "seat",
+		"nonstop", "economy", "business", "first", "coach", "flight",
+		"checkin", "checkout", "smoking", "nonsmoking", "rating", "star",
+		"chain", "brand", "room", "bed", "night",
+		"company", "skill", "resume", "cover", "letter",
+		"bathroom", "bedroom", "square", "foot",
+		"acre", "garage", "pool", "fireplace", "basement",
+		"lease", "buy", "rent", "sale", "foreclosure", "listing",
+		"isbn", "author", "title", "publisher", "language", "edition",
+		"genre", "series", "reader", "age", "illustrator",
+		"keyword", "description", "zip", "code",
+		"radius", "kilometer",
+	}
+	for _, w := range vocabOnly {
+		l.vocab[w] = true
+	}
+
+	return l
+}

@@ -1,0 +1,253 @@
+// Package lexicon provides the lexical knowledge base that stands in for
+// WordNet [9] in the labeling pipeline.
+//
+// The paper consults WordNet for three token-level predicates — equality of
+// base forms, synonymy and hypernymy — plus base-form (lemma) retrieval.
+// This package offers exactly that contract:
+//
+//   - BaseForm reduces an inflected token to its lemma ("children" ->
+//     "child", "preferences" -> "preference");
+//   - Synonym reports whether two lemmas share a synonym set ("area" and
+//     "field", "study" and "work");
+//   - Hypernym reports whether one lemma is a transitive hypernym of
+//     another ("location" is a hypernym of "area").
+//
+// The default knowledge base (see data.go) embeds the general-English
+// entries the paper's inference examples rely on together with the
+// vocabulary of the seven evaluation domains. Because Definition 1 only
+// consumes the three predicates above, any knowledge base exposing them
+// drives the identical code paths; see DESIGN.md §5 for the substitution
+// rationale.
+package lexicon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lexicon is an in-memory lexical knowledge base. The zero value is unusable;
+// create instances with New or Default. A Lexicon is safe for concurrent
+// readers once construction is complete.
+type Lexicon struct {
+	// synset membership: word -> set ids (a word may have several senses).
+	synsets map[string][]int
+	// members of each synset.
+	members [][]string
+	// direct hypernym edges between words: child -> parents.
+	hypernyms map[string][]string
+	// irregular inflections: surface -> lemma.
+	irregular map[string]string
+	// vocabulary of all words known to the lexicon (lemma forms).
+	vocab map[string]bool
+}
+
+// New returns an empty lexicon ready to be populated with AddSynonyms,
+// AddHypernym and AddIrregular.
+func New() *Lexicon {
+	return &Lexicon{
+		synsets:   make(map[string][]int),
+		hypernyms: make(map[string][]string),
+		irregular: make(map[string]string),
+		vocab:     make(map[string]bool),
+	}
+}
+
+// AddSynonyms declares that the given words form one synonym set (one shared
+// sense). Words may participate in several synsets. Words are lower-cased.
+func (l *Lexicon) AddSynonyms(words ...string) {
+	if len(words) == 0 {
+		return
+	}
+	id := len(l.members)
+	set := make([]string, 0, len(words))
+	for _, w := range words {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" {
+			continue
+		}
+		set = append(set, w)
+		l.synsets[w] = append(l.synsets[w], id)
+		l.vocab[w] = true
+	}
+	l.members = append(l.members, set)
+}
+
+// AddHypernym declares that parent is a direct hypernym of child (child IS-A
+// parent). Transitivity is resolved at query time.
+func (l *Lexicon) AddHypernym(parent, child string) {
+	parent = strings.ToLower(strings.TrimSpace(parent))
+	child = strings.ToLower(strings.TrimSpace(child))
+	if parent == "" || child == "" || parent == child {
+		return
+	}
+	l.hypernyms[child] = append(l.hypernyms[child], parent)
+	l.vocab[parent] = true
+	l.vocab[child] = true
+}
+
+// AddIrregular records an irregular inflection, e.g. ("children", "child").
+func (l *Lexicon) AddIrregular(surface, lemma string) {
+	surface = strings.ToLower(strings.TrimSpace(surface))
+	lemma = strings.ToLower(strings.TrimSpace(lemma))
+	if surface == "" || lemma == "" {
+		return
+	}
+	l.irregular[surface] = lemma
+	l.vocab[lemma] = true
+}
+
+// Knows reports whether the word (as a lemma) is in the lexicon vocabulary.
+func (l *Lexicon) Knows(word string) bool {
+	return l.vocab[strings.ToLower(word)]
+}
+
+// BaseForm returns the lemma of an inflected token. Resolution order:
+// irregular table, vocabulary identity, regular plural rules validated
+// against the vocabulary, and finally a conservative plural strip so that
+// unknown words still normalize ("widgets" -> "widget"). The result is
+// lower-case.
+func (l *Lexicon) BaseForm(tok string) string {
+	w := strings.ToLower(tok)
+	if lemma, ok := l.irregular[w]; ok {
+		return lemma
+	}
+	if l.vocab[w] {
+		return w
+	}
+	for _, cand := range pluralCandidates(w) {
+		if l.vocab[cand] {
+			return cand
+		}
+	}
+	// Unknown word: strip a plain plural "s" (but not "ss"/"us"/"is").
+	if n := len(w); n > 3 && w[n-1] == 's' &&
+		w[n-2] != 's' && w[n-2] != 'u' && w[n-2] != 'i' {
+		if strings.HasSuffix(w, "ies") {
+			return w[:n-3] + "y"
+		}
+		if strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "ches") ||
+			strings.HasSuffix(w, "shes") || strings.HasSuffix(w, "sses") {
+			return w[:n-2]
+		}
+		return w[:n-1]
+	}
+	return w
+}
+
+// pluralCandidates generates lemma candidates for a possibly plural token.
+func pluralCandidates(w string) []string {
+	var c []string
+	n := len(w)
+	if n > 3 && strings.HasSuffix(w, "ies") {
+		c = append(c, w[:n-3]+"y")
+	}
+	if n > 2 && strings.HasSuffix(w, "es") {
+		c = append(c, w[:n-2])
+	}
+	if n > 1 && strings.HasSuffix(w, "s") {
+		c = append(c, w[:n-1])
+	}
+	return c
+}
+
+// Synonym reports whether words a and b share at least one synonym set.
+// A word is not its own synonym (that is equality, a distinct relation in
+// Definition 1). Inputs are lemmatized first.
+func (l *Lexicon) Synonym(a, b string) bool {
+	a, b = l.BaseForm(a), l.BaseForm(b)
+	if a == b {
+		return false
+	}
+	sa, ok := l.synsets[a]
+	if !ok {
+		return false
+	}
+	sb, ok := l.synsets[b]
+	if !ok {
+		return false
+	}
+	for _, x := range sa {
+		for _, y := range sb {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Synonyms returns the sorted set of words sharing a synset with the word,
+// excluding the word itself. It returns nil for unknown words.
+func (l *Lexicon) Synonyms(word string) []string {
+	w := l.BaseForm(word)
+	ids := l.synsets[w]
+	seen := map[string]bool{w: true}
+	var out []string
+	for _, id := range ids {
+		for _, m := range l.members[id] {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// maxHypernymDepth bounds the transitive hypernym search; the embedded
+// hierarchy is shallow, and the bound guards against accidental cycles in
+// user-supplied data.
+const maxHypernymDepth = 16
+
+// Hypernym reports whether a is a (transitive) hypernym of b: b IS-A a.
+// The search also crosses synonym links, mirroring how WordNet hypernymy is
+// defined between synsets rather than words: if b' is a synonym of b and
+// a' a synonym of a, an edge b' -> a' establishes Hypernym(a, b).
+// A word is not its own hypernym.
+func (l *Lexicon) Hypernym(a, b string) bool {
+	a, b = l.BaseForm(a), l.BaseForm(b)
+	if a == b {
+		return false
+	}
+	targets := map[string]bool{a: true}
+	for _, s := range l.Synonyms(a) {
+		targets[s] = true
+	}
+	visited := map[string]bool{}
+	frontier := append([]string{b}, l.Synonyms(b)...)
+	for depth := 0; depth < maxHypernymDepth && len(frontier) > 0; depth++ {
+		var next []string
+		for _, w := range frontier {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			for _, parent := range l.hypernyms[w] {
+				if targets[parent] {
+					return true
+				}
+				if !visited[parent] {
+					next = append(next, parent)
+					next = append(next, l.Synonyms(parent)...)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// Hyponym reports whether a is a (transitive) hyponym of b: a IS-A b.
+func (l *Lexicon) Hyponym(a, b string) bool { return l.Hypernym(b, a) }
+
+// Stats summarizes the knowledge base size, used by diagnostics and tests.
+func (l *Lexicon) Stats() string {
+	edges := 0
+	for _, ps := range l.hypernyms {
+		edges += len(ps)
+	}
+	return fmt.Sprintf("lexicon: %d words, %d synsets, %d hypernym edges, %d irregulars",
+		len(l.vocab), len(l.members), edges, len(l.irregular))
+}

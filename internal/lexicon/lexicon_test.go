@@ -1,0 +1,264 @@
+package lexicon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseFormIrregular(t *testing.T) {
+	l := Default()
+	cases := map[string]string{
+		"children":  "child",
+		"Children":  "child",
+		"people":    "person",
+		"departing": "depart",
+		"preferred": "prefer",
+	}
+	for in, want := range cases {
+		if got := l.BaseForm(in); got != want {
+			t.Errorf("BaseForm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBaseFormRegularPlurals(t *testing.T) {
+	l := Default()
+	cases := map[string]string{
+		"adults":      "adult",
+		"seniors":     "senior",
+		"infants":     "infant",
+		"passengers":  "passenger",
+		"cities":      "city",
+		"keywords":    "keyword",
+		"preferences": "preference",
+		"boxes":       "box",
+		"address":     "address", // not a plural
+		"bus":         "bus",
+		"analysis":    "analysis",
+	}
+	for in, want := range cases {
+		if got := l.BaseForm(in); got != want {
+			t.Errorf("BaseForm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBaseFormUnknownWords(t *testing.T) {
+	l := Default()
+	if got := l.BaseForm("widgets"); got != "widget" {
+		t.Errorf("BaseForm(widgets) = %q, want widget", got)
+	}
+	if got := l.BaseForm("flurb"); got != "flurb" {
+		t.Errorf("BaseForm(flurb) = %q, want unchanged", got)
+	}
+}
+
+// The synonym relationships from the paper's Definition 1 examples.
+func TestSynonymPaperExamples(t *testing.T) {
+	l := Default()
+	pairs := [][2]string{
+		{"area", "field"},
+		{"study", "work"},
+		{"make", "brand"},
+		{"job", "position"},
+		{"city", "town"},
+		{"price", "cost"},
+	}
+	for _, p := range pairs {
+		if !l.Synonym(p[0], p[1]) {
+			t.Errorf("Synonym(%q, %q) = false, want true", p[0], p[1])
+		}
+		if !l.Synonym(p[1], p[0]) {
+			t.Errorf("Synonym(%q, %q) should be symmetric", p[1], p[0])
+		}
+	}
+	if l.Synonym("area", "area") {
+		t.Error("a word must not be its own synonym (that is equality)")
+	}
+	if l.Synonym("area", "price") {
+		t.Error("area and price are not synonyms")
+	}
+}
+
+func TestSynonymAcceptsInflectedForms(t *testing.T) {
+	l := Default()
+	if !l.Synonym("areas", "fields") {
+		t.Error("Synonym should lemmatize its inputs")
+	}
+	if !l.Synonym("preferred", "preference") {
+		t.Error("preferred and preference share the prefer synset")
+	}
+}
+
+func TestHypernym(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		parent, child string
+		want          bool
+	}{
+		{"location", "city", true},
+		{"location", "zip", true},
+		{"location", "county", true}, // transitive via region
+		{"person", "senior", true},
+		{"passenger", "infant", true},
+		{"vehicle", "sedan", true}, // transitive via car
+		{"city", "location", false},
+		{"location", "location", false},
+		{"price", "city", false},
+		{"amount", "rent", true}, // transitive via price
+	}
+	for _, c := range cases {
+		if got := l.Hypernym(c.parent, c.child); got != c.want {
+			t.Errorf("Hypernym(%q, %q) = %v, want %v", c.parent, c.child, got, c.want)
+		}
+	}
+}
+
+func TestHypernymCrossesSynonymy(t *testing.T) {
+	l := Default()
+	// "auto" is a synonym of "vehicle"'s hyponym "car"; hypernymy defined on
+	// synsets must see vehicle ⊐ auto.
+	if !l.Hypernym("vehicle", "auto") {
+		t.Error("Hypernym(vehicle, auto) should hold via the car synset")
+	}
+	// And from the parent side: "place" is a synonym of "location".
+	if !l.Hypernym("place", "city") {
+		t.Error("Hypernym(place, city) should hold via the location synset")
+	}
+}
+
+func TestHyponymDuality(t *testing.T) {
+	l := Default()
+	if !l.Hyponym("city", "location") {
+		t.Error("Hyponym(city, location) should hold")
+	}
+	if l.Hyponym("location", "city") {
+		t.Error("Hyponym(location, city) should not hold")
+	}
+}
+
+func TestSynonyms(t *testing.T) {
+	l := Default()
+	syns := l.Synonyms("area")
+	want := map[string]bool{"field": true, "domain": true}
+	for _, s := range syns {
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Errorf("Synonyms(area) = %v, missing %v", syns, want)
+	}
+	if got := l.Synonyms("qqqq"); got != nil {
+		t.Errorf("Synonyms(unknown) = %v, want nil", got)
+	}
+}
+
+func TestHypernymCycleSafety(t *testing.T) {
+	l := New()
+	l.AddHypernym("a", "b")
+	l.AddHypernym("b", "c")
+	l.AddHypernym("c", "a") // cycle
+	if !l.Hypernym("a", "c") {
+		t.Error("direct edge within cycle should still be found")
+	}
+	// Must terminate and a word is never its own hypernym.
+	if l.Hypernym("a", "a") {
+		t.Error("self-hypernymy must be false even inside a cycle")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	l := New()
+	l.AddSynonyms()         // no-op
+	l.AddSynonyms(" ", "")  // all blank
+	l.AddHypernym("x", "x") // self edge ignored
+	l.AddHypernym("", "y")  // blank ignored
+	l.AddIrregular("", "z") // blank ignored
+	if l.Hypernym("x", "x") || l.Knows("y") && l.Hypernym("", "y") {
+		t.Error("degenerate edges must be ignored")
+	}
+}
+
+// Properties over the default lexicon: symmetry of Synonym and antisymmetry
+// of Hypernym on a sampled vocabulary.
+func TestRelationProperties(t *testing.T) {
+	l := Default()
+	words := []string{
+		"area", "field", "study", "work", "location", "city", "state", "zip",
+		"person", "adult", "senior", "child", "infant", "passenger",
+		"vehicle", "car", "sedan", "price", "fare", "rent", "amount",
+		"job", "position", "type", "category", "make", "brand", "model",
+	}
+	pick := func(seed int64) string {
+		i := int(seed % int64(len(words)))
+		if i < 0 {
+			i = -i
+		}
+		return words[i]
+	}
+	sym := func(s1, s2 int64) bool {
+		a, b := pick(s1), pick(s2)
+		return l.Synonym(a, b) == l.Synonym(b, a)
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Errorf("Synonym symmetry: %v", err)
+	}
+	antisym := func(s1, s2 int64) bool {
+		a, b := pick(s1), pick(s2)
+		if a == b {
+			return !l.Hypernym(a, b)
+		}
+		// Hypernym and Hyponym must be duals, and synonyms must not be
+		// related by hypernymy in both directions.
+		if l.Hypernym(a, b) != l.Hyponym(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(antisym, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Errorf("Hypernym duality: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	if s := Default().Stats(); s == "" {
+		t.Error("Stats should describe the knowledge base")
+	}
+}
+
+func BenchmarkHypernym(b *testing.B) {
+	l := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Hypernym("location", "county")
+	}
+}
+
+// TestExtendedVocabulary spot-checks the broader e-commerce entries added
+// for generalization beyond the seven evaluation domains.
+func TestExtendedVocabulary(t *testing.T) {
+	l := Default()
+	syn := [][2]string{
+		{"buy", "purchase"},
+		{"reservation", "booking"},
+		{"resume", "cv"},
+		{"gas", "petrol"},
+		{"used", "preowned"},
+	}
+	for _, p := range syn {
+		if !l.Synonym(p[0], p[1]) {
+			t.Errorf("Synonym(%q, %q) = false", p[0], p[1])
+		}
+	}
+	hyper := [][2]string{
+		{"contact", "email"},
+		{"meal", "breakfast"},
+		{"amenity", "wifi"},
+		{"transportation", "train"},
+		{"transportation", "bus"}, // transitive via vehicle
+	}
+	for _, p := range hyper {
+		if !l.Hypernym(p[0], p[1]) {
+			t.Errorf("Hypernym(%q, %q) = false", p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lexicon
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// fileFormat is the JSON representation of a lexicon: synonym sets,
+// direct hypernym edges (parent, child), irregular inflections and plain
+// vocabulary words. It is the input format of cmd/labeler's -lexicon flag.
+type fileFormat struct {
+	Synsets    [][]string        `json:"synsets,omitempty"`
+	Hypernyms  [][2]string       `json:"hypernyms,omitempty"`
+	Irregular  map[string]string `json:"irregular,omitempty"`
+	Vocabulary []string          `json:"vocabulary,omitempty"`
+}
+
+// EncodeJSON serializes the lexicon.
+func (l *Lexicon) EncodeJSON() ([]byte, error) {
+	f := fileFormat{Irregular: l.irregular}
+	f.Synsets = append(f.Synsets, l.members...)
+	var children []string
+	for c := range l.hypernyms {
+		children = append(children, c)
+	}
+	sort.Strings(children)
+	for _, c := range children {
+		for _, p := range l.hypernyms[c] {
+			f.Hypernyms = append(f.Hypernyms, [2]string{p, c})
+		}
+	}
+	// Words carrying no relations still matter for lemmatization.
+	inRelations := make(map[string]bool)
+	for _, set := range l.members {
+		for _, w := range set {
+			inRelations[w] = true
+		}
+	}
+	for c, ps := range l.hypernyms {
+		inRelations[c] = true
+		for _, p := range ps {
+			inRelations[p] = true
+		}
+	}
+	for _, lemma := range l.irregular {
+		inRelations[lemma] = true
+	}
+	for w := range l.vocab {
+		if !inRelations[w] {
+			f.Vocabulary = append(f.Vocabulary, w)
+		}
+	}
+	sort.Strings(f.Vocabulary)
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// DecodeJSON parses a lexicon serialized by EncodeJSON (or hand-written in
+// the same format) into a fresh Lexicon.
+func DecodeJSON(data []byte) (*Lexicon, error) {
+	var f fileFormat
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("lexicon: decoding: %w", err)
+	}
+	l := New()
+	for _, set := range f.Synsets {
+		l.AddSynonyms(set...)
+	}
+	for _, h := range f.Hypernyms {
+		l.AddHypernym(h[0], h[1])
+	}
+	for surface, lemma := range f.Irregular {
+		l.AddIrregular(surface, lemma)
+	}
+	for _, w := range f.Vocabulary {
+		l.AddWord(w)
+	}
+	return l, nil
+}
+
+// AddWord registers a lemma in the vocabulary without any relations, so
+// the lemmatizer resolves its inflections against it.
+func (l *Lexicon) AddWord(w string) {
+	w = strings.ToLower(strings.TrimSpace(w))
+	if w != "" {
+		l.vocab[w] = true
+	}
+}
+
+// AddFrom merges every entry of other into l. Used to extend a copy of the
+// default knowledge base with domain-specific vocabulary.
+func (l *Lexicon) AddFrom(other *Lexicon) {
+	for _, set := range other.members {
+		l.AddSynonyms(set...)
+	}
+	for c, ps := range other.hypernyms {
+		for _, p := range ps {
+			l.AddHypernym(p, c)
+		}
+	}
+	for s, lemma := range other.irregular {
+		l.AddIrregular(s, lemma)
+	}
+	for w := range other.vocab {
+		l.AddWord(w)
+	}
+}
+
+// Clone returns an independent deep copy; useful because the Default
+// lexicon is shared and must not be mutated.
+func (l *Lexicon) Clone() *Lexicon {
+	c := New()
+	c.AddFrom(l)
+	return c
+}

@@ -1,0 +1,104 @@
+package lexicon
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := New()
+	l.AddSynonyms("area", "field", "domain")
+	l.AddSynonyms("study", "work")
+	l.AddHypernym("location", "city")
+	l.AddHypernym("location", "state")
+	l.AddIrregular("children", "child")
+	l.AddWord("keyword")
+
+	data, err := l.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Synonym("area", "field") || !back.Synonym("study", "work") {
+		t.Error("synonyms lost in round trip")
+	}
+	if !back.Hypernym("location", "city") || !back.Hypernym("location", "state") {
+		t.Error("hypernyms lost in round trip")
+	}
+	if back.BaseForm("children") != "child" {
+		t.Error("irregulars lost in round trip")
+	}
+	if back.BaseForm("keywords") != "keyword" {
+		t.Error("vocabulary lost in round trip")
+	}
+}
+
+func TestDefaultLexiconRoundTrip(t *testing.T) {
+	data, err := Default().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the relationships the naming algorithm depends on.
+	if !back.Synonym("area", "field") {
+		t.Error("default synonymy lost")
+	}
+	if !back.Hypernym("location", "county") {
+		t.Error("default transitive hypernymy lost")
+	}
+	if back.BaseForm("departing") != "depart" {
+		t.Error("default irregulars lost")
+	}
+	if back.BaseForm("keywords") != "keyword" {
+		t.Error("default vocabulary lost")
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	if _, err := DecodeJSON([]byte("{")); err == nil {
+		t.Error("invalid JSON must fail")
+	}
+	l, err := DecodeJSON([]byte("{}"))
+	if err != nil || l == nil {
+		t.Error("empty lexicon should decode")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	orig := New()
+	orig.AddSynonyms("a", "b")
+	cl := orig.Clone()
+	cl.AddSynonyms("x", "y")
+	cl.AddHypernym("p", "c")
+	cl.AddIrregular("geese", "goose")
+	if orig.Synonym("x", "y") || orig.Hypernym("p", "c") {
+		t.Error("mutating the clone must not affect the original")
+	}
+	if !cl.Synonym("a", "b") {
+		t.Error("clone lost the original entries")
+	}
+}
+
+func TestAddFromMerges(t *testing.T) {
+	base := Default().Clone()
+	extra := New()
+	extra.AddSynonyms("pax", "passenger")
+	base.AddFrom(extra)
+	if !base.Synonym("pax", "passenger") {
+		t.Error("AddFrom must merge new synsets")
+	}
+	if !base.Synonym("area", "field") {
+		t.Error("AddFrom must keep existing entries")
+	}
+	// Cross-lexicon synonymy: pax joins passenger's neighborhood only via
+	// the new synset, not transitively into the traveler set (synsets are
+	// senses, not a single equivalence class).
+	if base.Synonym("pax", "traveler") {
+		t.Error("synsets must stay separate senses")
+	}
+}

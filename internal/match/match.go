@@ -1,0 +1,223 @@
+// Package match is the interface-matching substrate ([10, 24, 23] in the
+// paper). The naming paper takes the clusters of semantically equivalent
+// fields as input; this package recomputes them from labels and instances
+// so the pipeline also runs on foreign interfaces that carry no
+// ground-truth cluster annotations.
+//
+// The matcher is deliberately simple — a transitive-closure matcher over
+// two field-similarity signals:
+//
+//   - lexical: the fields' labels are string-equal, equal or synonyms
+//     under Definition 1 (via the same Semantics the naming algorithm
+//     uses);
+//   - instance overlap: the fields' predefined domains share a majority
+//     of their values (the WebIQ-style signal, usable even for unlabeled
+//     fields).
+//
+// The evaluation benches use ground-truth clusters, as the paper does, so
+// matcher noise cannot pollute the labeling results; the matcher exists
+// for end-to-end runs over raw input.
+package match
+
+import (
+	"fmt"
+	"strings"
+
+	"qilabel/internal/naming"
+	"qilabel/internal/schema"
+)
+
+// Options tune the matcher.
+type Options struct {
+	// Semantics evaluates label relationships (nil: default lexicon).
+	Semantics *naming.Semantics
+	// MinInstanceOverlap is the Jaccard threshold for the instance signal
+	// (default 0.5).
+	MinInstanceOverlap float64
+	// ClusterPrefix prefixes generated cluster names (default "m").
+	ClusterPrefix string
+}
+
+// Assign computes clusters for the leaves of the given trees and writes
+// the cluster names onto the leaves in place (overwriting any existing
+// annotation). It returns the number of clusters formed. Leaves with
+// neither a usable label nor instances form singleton clusters.
+func Assign(trees []*schema.Tree, opts Options) int {
+	sem := opts.Semantics
+	if sem == nil {
+		sem = naming.NewSemantics(nil)
+	}
+	if opts.MinInstanceOverlap == 0 {
+		opts.MinInstanceOverlap = 0.5
+	}
+	prefix := opts.ClusterPrefix
+	if prefix == "" {
+		prefix = "m"
+	}
+
+	type field struct {
+		leaf  *schema.Node
+		iface string
+	}
+	var fields []field
+	for _, t := range trees {
+		for _, leaf := range t.Leaves() {
+			fields = append(fields, field{leaf, t.Interface})
+		}
+	}
+
+	parent := make([]int, len(fields))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(b)] = find(a) }
+
+	for i := 0; i < len(fields); i++ {
+		for j := i + 1; j < len(fields); j++ {
+			// Fields of the same interface never match each other.
+			if fields[i].iface == fields[j].iface {
+				continue
+			}
+			if fieldsMatch(sem, fields[i].leaf, fields[j].leaf, opts.MinInstanceOverlap) {
+				union(i, j)
+			}
+		}
+	}
+
+	// A cluster may not contain two fields of one interface. Transitive
+	// closure can still glue them together (both date groups label a field
+	// "Month", chained through other interfaces), so components are split
+	// by per-interface occurrence: the k-th same-component field of an
+	// interface goes into the component's k-th cluster. The k-th
+	// occurrences across interfaces land together — exactly how paired
+	// concepts (departure month / return month) separate.
+	type slot struct {
+		root int
+		occ  int
+	}
+	occIndex := make([]int, len(fields))
+	perIface := make(map[string]map[int]int) // interface -> component -> count
+	for i, f := range fields {
+		r := find(i)
+		m := perIface[f.iface]
+		if m == nil {
+			m = make(map[int]int)
+			perIface[f.iface] = m
+		}
+		occIndex[i] = m[r]
+		m[r]++
+	}
+	names := make(map[slot]string)
+	next := 1
+	for i, f := range fields {
+		key := slot{find(i), occIndex[i]}
+		name, ok := names[key]
+		if !ok {
+			name = fmt.Sprintf("%s_%03d", prefix, next)
+			next++
+			names[key] = name
+		}
+		f.leaf.Cluster = name
+	}
+	return next - 1
+}
+
+// fieldsMatch evaluates the two similarity signals.
+func fieldsMatch(sem *naming.Semantics, a, b *schema.Node, minOverlap float64) bool {
+	la, lb := strings.TrimSpace(a.Label), strings.TrimSpace(b.Label)
+	if la != "" && lb != "" && sem.Equivalent(la, lb) {
+		return true
+	}
+	if len(a.Instances) > 0 && len(b.Instances) > 0 {
+		if jaccard(a.Instances, b.Instances) >= minOverlap {
+			return true
+		}
+	}
+	return false
+}
+
+// jaccard computes case-insensitive Jaccard similarity of two value sets.
+func jaccard(a, b []string) float64 {
+	setA := make(map[string]bool, len(a))
+	for _, v := range a {
+		setA[strings.ToLower(strings.TrimSpace(v))] = true
+	}
+	setB := make(map[string]bool, len(b))
+	for _, v := range b {
+		setB[strings.ToLower(strings.TrimSpace(v))] = true
+	}
+	inter := 0
+	for v := range setA {
+		if setB[v] {
+			inter++
+		}
+	}
+	unionSize := len(setA) + len(setB) - inter
+	if unionSize == 0 {
+		return 0
+	}
+	return float64(inter) / float64(unionSize)
+}
+
+// Quality compares matcher-assigned clusters against ground truth,
+// returning pairwise precision and recall over same-cluster field pairs.
+type Quality struct {
+	Precision float64
+	Recall    float64
+	// Clusters is the number of clusters the matcher formed.
+	Clusters int
+}
+
+// Evaluate runs the matcher on a deep copy of the annotated trees and
+// scores it against their ground-truth cluster annotations.
+func Evaluate(truth []*schema.Tree, opts Options) Quality {
+	copies := make([]*schema.Tree, len(truth))
+	for i, t := range truth {
+		copies[i] = t.Clone()
+	}
+	n := Assign(copies, opts)
+
+	gold := map[int]string{}     // field index -> gold cluster
+	assigned := map[int]string{} // field index -> matcher cluster
+	idx := 0
+	for ti, t := range truth {
+		gLeaves := t.Leaves()
+		aLeaves := copies[ti].Leaves()
+		for li := range gLeaves {
+			gold[idx] = gLeaves[li].Cluster
+			assigned[idx] = aLeaves[li].Cluster
+			idx++
+		}
+	}
+	var tp, fp, fn int
+	for i := 0; i < idx; i++ {
+		for j := i + 1; j < idx; j++ {
+			g := gold[i] != "" && gold[i] == gold[j]
+			a := assigned[i] == assigned[j]
+			switch {
+			case g && a:
+				tp++
+			case !g && a:
+				fp++
+			case g && !a:
+				fn++
+			}
+		}
+	}
+	q := Quality{Clusters: n}
+	if tp+fp > 0 {
+		q.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		q.Recall = float64(tp) / float64(tp+fn)
+	}
+	return q
+}

@@ -1,0 +1,503 @@
+// Package merge implements the structural substrate of the pipeline: the
+// fields-grouping of §2.2 and the merge algorithm of §2.3 (the companion
+// ICDE'06 work [8] the paper builds on). It integrates the source schema
+// trees of a domain into one unlabeled integrated schema tree with the two
+// properties the naming algorithm relies on:
+//
+//   - ancestor–descendant relationships present in individual schema trees
+//     are preserved whenever they are mutually compatible, and
+//   - grouping constraints are satisfied as much as possible: fields that
+//     form a semantic unit in a source stay together in the integrated
+//     interface.
+//
+// The construction works over *clusters*: every source leaf is identified
+// with its cluster, each source internal node contributes a "unit" (the set
+// of clusters below it), and a maximal laminar (non-crossing) family of
+// units — preferring units observed in more sources — becomes the internal
+// nodes of the integrated tree. Sibling order follows the average position
+// of the fields on the source interfaces, so the integrated interface reads
+// in the order users expect.
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/schema"
+)
+
+// Result is the outcome of integrating a domain.
+type Result struct {
+	// Tree is the integrated schema tree. Its leaves carry cluster names
+	// and empty labels; the naming algorithm fills the labels in.
+	Tree *schema.Tree
+	// Groups are the regular groups (the partition G of §3): for each
+	// internal node of the integrated tree with at least two leaf children,
+	// those leaf children's clusters.
+	Groups [][]*cluster.Cluster
+	// Root lists the clusters whose fields are direct leaf children of the
+	// root (C_root of §3), treated as a special group with loose
+	// consistency constraints.
+	Root []*cluster.Cluster
+	// Isolated lists the clusters that are single leaf children of internal
+	// nodes other than the root (C_int of §3).
+	Isolated []*cluster.Cluster
+	// LeafOf maps a cluster name to its leaf in the integrated tree.
+	LeafOf map[string]*schema.Node
+	// Mapping is the cluster mapping the integration was computed over.
+	Mapping *cluster.Mapping
+	// Sources are the (expanded) source trees.
+	Sources []*schema.Tree
+}
+
+// unit is a candidate internal node of the integrated tree: a set of
+// clusters observed together under one source internal node.
+type unit struct {
+	key      string // canonical sorted key
+	clusters map[string]bool
+	support  int // number of source internal nodes exhibiting exactly this set
+	size     int
+	// occurrences are the source internal nodes that contributed this unit
+	// (after a union, the nodes of all fragments). They provide the
+	// evidence for keeping nested units as hierarchy.
+	occurrences []occurrence
+}
+
+// occurrence ties a unit to a concrete internal node of a source tree.
+type occurrence struct {
+	tree *schema.Tree
+	node *schema.Node
+}
+
+// Merge integrates the given source trees. The trees must already have 1:m
+// correspondences expanded (cluster.ExpandOneToMany) and every leaf must
+// carry a cluster name; m must be the mapping derived from the same trees.
+func Merge(trees []*schema.Tree, m *cluster.Mapping) (*Result, error) {
+	if len(trees) == 0 {
+		return nil, errors.New("merge: no source trees")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range trees {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		for _, leaf := range t.Leaves() {
+			if len(leaf.MultiClusters) > 0 {
+				return nil, fmt.Errorf("merge: %s has unexpanded 1:m leaf %q", t.Interface, leaf.Label)
+			}
+		}
+	}
+
+	universe := make(map[string]bool, len(m.Clusters))
+	for _, c := range m.Clusters {
+		universe[c.Name] = true
+	}
+	if len(universe) == 0 {
+		return nil, errors.New("merge: mapping has no clusters")
+	}
+
+	units := collectUnits(trees, universe)
+	laminar := selectLaminar(units, len(universe))
+	pos := averagePositions(trees)
+	root := buildTree(laminar, universe, pos)
+	tree := &schema.Tree{Interface: "integrated", Root: root}
+
+	res := &Result{Tree: tree, LeafOf: make(map[string]*schema.Node), Mapping: m, Sources: trees}
+	tree.Root.Walk(func(n *schema.Node) bool {
+		if n.IsLeaf() && n.Cluster != "" {
+			res.LeafOf[n.Cluster] = n
+		}
+		return true
+	})
+	classify(res)
+	return res, nil
+}
+
+// collectUnits gathers the cluster sets under every internal node of every
+// source tree (the root excluded: its set is the whole interface, which
+// contributes no grouping information).
+func collectUnits(trees []*schema.Tree, universe map[string]bool) map[string]*unit {
+	units := make(map[string]*unit)
+	for _, t := range trees {
+		for _, n := range t.InternalNodes() {
+			set := n.LeafClusters()
+			if len(set) < 2 {
+				continue // a single field imposes no grouping constraint
+			}
+			filtered := make(map[string]bool, len(set))
+			for c := range set {
+				if universe[c] {
+					filtered[c] = true
+				}
+			}
+			if len(filtered) < 2 {
+				continue
+			}
+			k := key(filtered)
+			u := units[k]
+			if u == nil {
+				u = &unit{key: k, clusters: filtered, size: len(filtered)}
+				units[k] = u
+			}
+			u.support++
+			u.occurrences = append(u.occurrences, occurrence{t, n})
+		}
+	}
+	return units
+}
+
+func key(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for c := range set {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\x00")
+}
+
+// selectLaminar turns the observed units into a laminar (non-crossing)
+// family by repeatedly replacing two crossing units with their union: two
+// groups sharing a field are fragments of one semantic unit of the
+// integrated interface (this is how the group of Table 2 comes to span
+// clusters no single source covers). Units nested by containment survive as
+// hierarchy (super-groups). Units covering the entire universe are
+// redundant with the root and dropped.
+func selectLaminar(units map[string]*unit, universeSize int) []*unit {
+	work := make(map[string]*unit, len(units))
+	for k, u := range units {
+		cp := &unit{key: k, clusters: u.clusters, support: u.support, size: u.size,
+			occurrences: u.occurrences}
+		work[k] = cp
+	}
+	for {
+		a, b := findCrossing(work)
+		if a == nil {
+			break
+		}
+		merged := make(map[string]bool, a.size+b.size)
+		for c := range a.clusters {
+			merged[c] = true
+		}
+		for c := range b.clusters {
+			merged[c] = true
+		}
+		delete(work, a.key)
+		delete(work, b.key)
+		k := key(merged)
+		if ex, ok := work[k]; ok {
+			ex.support += a.support + b.support
+			ex.occurrences = append(ex.occurrences, a.occurrences...)
+			ex.occurrences = append(ex.occurrences, b.occurrences...)
+		} else {
+			work[k] = &unit{key: k, clusters: merged, support: a.support + b.support,
+				size: len(merged), occurrences: append(append([]occurrence(nil),
+					a.occurrences...), b.occurrences...)}
+		}
+	}
+	out := make([]*unit, 0, len(work))
+	for _, u := range work {
+		if u.size < universeSize {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return dropUnobservedNesting(out)
+}
+
+// dropUnobservedNesting flattens containment relations that no source
+// actually exhibits: a unit strictly contained in others survives only if
+// some source shows one of its nodes as a strict descendant of a node of a
+// container (real hierarchy, like the auto domain's Car Information ⊃ year
+// range — the source with Car Information also exhibits the year pair as a
+// nested subgroup). Fragments that merely happen to be subsets of a larger
+// observed or unioned group (the aa Passengers pair inside the integrated
+// passenger group) are absorbed instead of creating a spurious level.
+func dropUnobservedNesting(units []*unit) []*unit {
+	keep := make([]*unit, 0, len(units))
+	for _, u := range units {
+		contained := false
+		evidenced := false
+		for _, v := range units {
+			if v == u || v.size <= u.size || !containsAll(v.clusters, u.clusters) {
+				continue
+			}
+			contained = true
+			if nestingObserved(u, v) {
+				evidenced = true
+				break
+			}
+		}
+		if !contained || evidenced {
+			keep = append(keep, u)
+		}
+	}
+	return keep
+}
+
+// nestingObserved reports whether some source tree shows an occurrence node
+// of inner as a strict descendant of an occurrence node of outer.
+func nestingObserved(inner, outer *unit) bool {
+	for _, oi := range inner.occurrences {
+		for _, oo := range outer.occurrences {
+			if oi.tree != oo.tree || oi.node == oo.node {
+				continue
+			}
+			found := false
+			oo.node.Walk(func(n *schema.Node) bool {
+				if n == oi.node && n != oo.node {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findCrossing returns a deterministic pair of crossing units, or nils.
+func findCrossing(units map[string]*unit) (*unit, *unit) {
+	keys := make([]string, 0, len(units))
+	for k := range units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			a, b := units[keys[i]], units[keys[j]]
+			if crosses(a.clusters, b.clusters) {
+				return a, b
+			}
+		}
+	}
+	return nil, nil
+}
+
+// crosses reports whether two sets overlap without one containing the
+// other.
+func crosses(a, b map[string]bool) bool {
+	inter, aInB, bInA := 0, 0, 0
+	for x := range a {
+		if b[x] {
+			inter++
+		}
+	}
+	if inter == 0 {
+		return false
+	}
+	aInB = inter
+	bInA = inter
+	return aInB != len(a) && bInA != len(b)
+}
+
+// averagePositions computes, per cluster, the average normalized position
+// (0..1) of its fields across the source interfaces. Clusters never seen
+// get position 1 so they sort last.
+func averagePositions(trees []*schema.Tree) map[string]float64 {
+	sum := make(map[string]float64)
+	count := make(map[string]int)
+	for _, t := range trees {
+		leaves := t.Leaves()
+		if len(leaves) == 0 {
+			continue
+		}
+		for i, leaf := range leaves {
+			if leaf.Cluster == "" {
+				continue
+			}
+			p := 0.0
+			if len(leaves) > 1 {
+				p = float64(i) / float64(len(leaves)-1)
+			}
+			sum[leaf.Cluster] += p
+			count[leaf.Cluster]++
+		}
+	}
+	pos := make(map[string]float64, len(sum))
+	for c, s := range sum {
+		pos[c] = s / float64(count[c])
+	}
+	return pos
+}
+
+// buildTree materializes the laminar family as a tree. Each accepted unit
+// becomes an internal node whose parent is the smallest accepted unit
+// strictly containing it (or the root). Each cluster becomes a leaf under
+// the smallest unit containing it (or the root). Children are ordered by
+// the average source position of their clusters.
+func buildTree(accepted []*unit, universe map[string]bool, pos map[string]float64) *schema.Node {
+	// Sort by size ascending so parents (larger) are located by scanning up.
+	bys := append([]*unit(nil), accepted...)
+	sort.Slice(bys, func(i, j int) bool {
+		if bys[i].size != bys[j].size {
+			return bys[i].size < bys[j].size
+		}
+		return bys[i].key < bys[j].key
+	})
+	nodes := make(map[string]*schema.Node, len(bys))
+	for _, u := range bys {
+		nodes[u.key] = &schema.Node{}
+	}
+	root := &schema.Node{}
+
+	parentOf := func(u *unit) *schema.Node {
+		var best *unit
+		for _, v := range bys {
+			if v == u || v.size <= u.size {
+				continue
+			}
+			if containsAll(v.clusters, u.clusters) {
+				if best == nil || v.size < best.size {
+					best = v
+				}
+			}
+		}
+		if best == nil {
+			return root
+		}
+		return nodes[best.key]
+	}
+	clusterParent := func(c string) *schema.Node {
+		var best *unit
+		for _, v := range bys {
+			if v.clusters[c] && (best == nil || v.size < best.size) {
+				best = v
+			}
+		}
+		if best == nil {
+			return root
+		}
+		return nodes[best.key]
+	}
+
+	type childEntry struct {
+		node *schema.Node
+		pos  float64
+	}
+	children := make(map[*schema.Node][]childEntry)
+	unitPos := func(u *unit) float64 {
+		s, n := 0.0, 0
+		for c := range u.clusters {
+			s += pos[c]
+			n++
+		}
+		if n == 0 {
+			return 1
+		}
+		return s / float64(n)
+	}
+	for _, u := range bys {
+		p := parentOf(u)
+		children[p] = append(children[p], childEntry{nodes[u.key], unitPos(u)})
+	}
+	names := make([]string, 0, len(universe))
+	for c := range universe {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		p := clusterParent(c)
+		leafPos, ok := pos[c]
+		if !ok {
+			leafPos = 1
+		}
+		children[p] = append(children[p], childEntry{&schema.Node{Cluster: c}, leafPos})
+	}
+	var attach func(n *schema.Node)
+	attach = func(n *schema.Node) {
+		cs := children[n]
+		sort.SliceStable(cs, func(i, j int) bool {
+			if cs[i].pos != cs[j].pos {
+				return cs[i].pos < cs[j].pos
+			}
+			// Deterministic tiebreak: leaves by cluster name, units after.
+			return cs[i].node.Cluster < cs[j].node.Cluster
+		})
+		for _, c := range cs {
+			n.Children = append(n.Children, c.node)
+			attach(c.node)
+		}
+	}
+	attach(root)
+	return root
+}
+
+func containsAll(big, small map[string]bool) bool {
+	for x := range small {
+		if !big[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// classify splits the clusters into C_groups, C_root and C_int based on
+// their placement in the integrated tree (§3).
+func classify(res *Result) {
+	m := res.Mapping
+	var walk func(n *schema.Node, isRoot bool)
+	walk = func(n *schema.Node, isRoot bool) {
+		var leafKids []*cluster.Cluster
+		for _, c := range n.Children {
+			if c.IsLeaf() {
+				if cl := m.Get(c.Cluster); cl != nil {
+					leafKids = append(leafKids, cl)
+				}
+			} else {
+				walk(c, false)
+			}
+		}
+		switch {
+		case isRoot:
+			res.Root = append(res.Root, leafKids...)
+		case len(leafKids) >= 2:
+			res.Groups = append(res.Groups, leafKids)
+		case len(leafKids) == 1:
+			res.Isolated = append(res.Isolated, leafKids[0])
+		}
+	}
+	walk(res.Tree.Root, true)
+}
+
+// GroupParent returns the integrated-tree internal node whose leaf children
+// are exactly the given group (identified by its first cluster's leaf).
+func (r *Result) GroupParent(group []*cluster.Cluster) *schema.Node {
+	if len(group) == 0 {
+		return nil
+	}
+	leaf := r.LeafOf[group[0].Name]
+	if leaf == nil {
+		return nil
+	}
+	return r.Tree.Root.Parent(leaf)
+}
+
+// Stats summarizes the integrated interface for Table 6 columns 6-11.
+type Stats struct {
+	Leaves         int
+	Groups         int
+	IsolatedLeaves int
+	RootLeaves     int
+	InternalNodes  int
+	Depth          int
+}
+
+// Stats computes the integrated-interface statistics.
+func (r *Result) Stats() Stats {
+	leaves, internal := r.Tree.CountNodes()
+	return Stats{
+		Leaves:         leaves,
+		Groups:         len(r.Groups),
+		IsolatedLeaves: len(r.Isolated),
+		RootLeaves:     len(r.Root),
+		InternalNodes:  internal,
+		Depth:          r.Tree.Depth(),
+	}
+}

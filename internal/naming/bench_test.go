@@ -1,0 +1,98 @@
+package naming
+
+import (
+	"testing"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/dataset"
+	"qilabel/internal/merge"
+)
+
+// corpusMerge prepares one domain's merge result outside the timed loop.
+func corpusMerge(b *testing.B, domain string) *merge.Result {
+	b.Helper()
+	d, err := dataset.ByName(domain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trees := d.Generate()
+	cluster.ExpandOneToMany(trees)
+	m, err := cluster.FromTrees(trees)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mr, err := merge.Merge(trees, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mr
+}
+
+// BenchmarkRun measures the full naming algorithm on the Airline corpus
+// (the hierarchically richest domain).
+func BenchmarkRun(b *testing.B) {
+	mr := corpusMerge(b, "Airline")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(mr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveGroup measures one group relation solve (Table 2 shape).
+func BenchmarkSolveGroup(b *testing.B) {
+	mr := corpusMerge(b, "Airline")
+	if len(mr.Groups) == 0 {
+		b.Fatal("no groups")
+	}
+	// The largest group relation of the domain.
+	best := mr.Groups[0]
+	for _, g := range mr.Groups {
+		if len(g) > len(best) {
+			best = g
+		}
+	}
+	rel := cluster.BuildRelation(best, cluster.Interfaces(mr.Sources))
+	sem := NewSemantics(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sem.SolveGroup(rel, SolverOptions{})
+	}
+}
+
+// BenchmarkRelate measures Definition 1 evaluation with a warm cache.
+func BenchmarkRelate(b *testing.B) {
+	sem := NewSemantics(nil)
+	pairs := [][2]string{
+		{"Preferred Airline", "Airline Preference"},
+		{"Area of Study", "Field of Work"},
+		{"Class", "Class of Tickets"},
+		{"Departing from", "Going to"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sem.Relate(p[0], p[1])
+	}
+}
+
+// BenchmarkPartitions measures the graph-closure partitioning (§4.1.1).
+func BenchmarkPartitions(b *testing.B) {
+	mr := corpusMerge(b, "Hotels")
+	var rel *cluster.Relation
+	for _, g := range mr.Groups {
+		r := cluster.BuildRelation(g, cluster.Interfaces(mr.Sources))
+		if rel == nil || len(r.Tuples) > len(rel.Tuples) {
+			rel = r
+		}
+	}
+	sem := NewSemantics(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sem.Partitions(rel, LevelSynonymy)
+	}
+}

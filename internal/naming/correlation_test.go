@@ -1,0 +1,117 @@
+package naming
+
+import (
+	"testing"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/schema"
+)
+
+// TestChooseSolutionCorrelatesWithAncestors exercises §4.3's requirement
+// that a group's solution "be correlated with the labels of other
+// attributes within the schema tree": the year group admits three
+// consistent solutions from three partitions; only one of them — (Year,
+// To Year) — shares a partition with the origin of the ancestor's only
+// candidate label, so the algorithm must pick it and come out fully
+// consistent.
+func TestChooseSolutionCorrelatesWithAncestors(t *testing.T) {
+	trees := []*schema.Tree{
+		schema.NewTree("s1",
+			schema.NewGroup("Year Range",
+				schema.NewField("Min", "c_YFrom"),
+				schema.NewField("Max", "c_YTo"),
+			),
+			schema.NewField("Make", "c_Make"),
+			schema.NewField("Promo", "c_Promo"),
+		),
+		schema.NewTree("s2",
+			schema.NewGroup("Year Range",
+				schema.NewField("From", "c_YFrom"),
+				schema.NewField("To", "c_YTo"),
+			),
+			schema.NewField("Brand", "c_Make"),
+			schema.NewField("Promo", "c_Promo"),
+		),
+		schema.NewTree("s3",
+			schema.NewGroup("Car Information",
+				schema.NewGroup("Year",
+					schema.NewField("Year", "c_YFrom"),
+					schema.NewField("To Year", "c_YTo"),
+				),
+				schema.NewField("Make", "c_Make"),
+			),
+			schema.NewField("Promo", "c_Promo"),
+		),
+	}
+	_, res := pipeline(t, Options{}, trees...)
+
+	// The fully consistent configuration exists: the year group solved
+	// with s3's (Year, To Year) row, the year node titled "Year" and the
+	// outer node "Car Information", all from the same origin.
+	if res.Class != ClassConsistent {
+		t.Fatalf("classification = %v, want consistent\n%s", res.Class, res.Summary())
+	}
+	var yearGroup *GroupReport
+	for _, gr := range res.Groups {
+		if !gr.IsRoot && len(gr.Clusters) == 2 && gr.Clusters[0] == "c_YFrom" {
+			yearGroup = gr
+		}
+	}
+	if yearGroup == nil {
+		t.Fatal("year group missing")
+	}
+	if got := yearGroup.Chosen.Labels[0]; got != "Year" {
+		t.Errorf("year group solved with %v; §4.3 correlation should pick s3's row",
+			yearGroup.Chosen.Labels)
+	}
+	if len(yearGroup.Outcome.Solutions) < 2 {
+		t.Errorf("expected multiple candidate solutions, got %d",
+			len(yearGroup.Outcome.Solutions))
+	}
+	for _, nr := range res.Nodes {
+		if nr.Assigned != "" && !nr.GroupConsistent {
+			t.Errorf("node %v assigned %q without Definition 6 consistency",
+				nr.Clusters, nr.Assigned)
+		}
+	}
+}
+
+// TestCombineClosureCap: the closure is bounded; pathological relations
+// terminate with a partial closure instead of exhausting memory.
+func TestCombineClosureCap(t *testing.T) {
+	s := NewSemantics(nil)
+	// 24 tuples over 24 columns, all pairwise consistent via a shared
+	// anchor column: the full closure would be astronomically large.
+	n := 24
+	var tuples []cluster.Tuple
+	for i := 0; i < n; i++ {
+		tp := cluster.Tuple{
+			Interface: string(rune('a' + i)),
+			Labels:    make([]string, n+1),
+			Instances: make([][]string, n+1),
+		}
+		tp.Labels[0] = "Anchor"
+		tp.Labels[i+1] = "Adults"
+		tuples = append(tuples, tp)
+	}
+	closure := s.CombineClosure(tuples, LevelString)
+	if len(closure) > combineClosureCap {
+		t.Errorf("closure size %d exceeds the cap %d", len(closure), combineClosureCap)
+	}
+	if len(closure) < n {
+		t.Errorf("closure lost the original tuples: %d < %d", len(closure), n)
+	}
+}
+
+// TestExpressivenessEdgeCases: empty tuples and duplicate words.
+func TestExpressivenessEdgeCases(t *testing.T) {
+	s := NewSemantics(nil)
+	if got := s.Expressiveness(cluster.Tuple{Labels: []string{"", ""}}); got != 0 {
+		t.Errorf("empty tuple expressiveness = %d", got)
+	}
+	// Duplicate content words across labels count once.
+	tp := cluster.Tuple{Labels: []string{"Job Type", "Type of Job"}}
+	if got := s.Expressiveness(tp); got != 2 {
+		t.Errorf("duplicate-word tuple expressiveness = %d, want 2", got)
+	}
+}

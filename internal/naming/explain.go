@@ -1,0 +1,146 @@
+package naming
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders a provenance report for every label of the integrated
+// interface: which interfaces supplied it, at which consistency level the
+// group was solved, which inference rule justified each internal-node
+// title, and why any node remained unlabeled. It is the auditable form of
+// the algorithm's decisions, printed by `labeler -explain`.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "classification: %s\n", r.Class)
+
+	for _, gr := range r.Groups {
+		kind := "group"
+		if gr.IsRoot {
+			kind = "root group"
+		}
+		fmt.Fprintf(&b, "\n%s [%s]\n", kind, strings.Join(gr.Clusters, ", "))
+		sol := gr.Chosen
+		if sol == nil {
+			b.WriteString("  no naming solution\n")
+			continue
+		}
+		for i, name := range gr.Clusters {
+			label := ""
+			if i < len(sol.Labels) {
+				label = sol.Labels[i]
+			}
+			if label == "" {
+				fmt.Fprintf(&b, "  %-18s -> (no label: no source ever labels this field)\n", name)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-18s -> %q  supplied by %s\n",
+				name, label, joinOrNone(suppliersOf(gr, i, label)))
+		}
+		switch {
+		case sol.Consistent:
+			fmt.Fprintf(&b, "  solved at the %s consistency level", sol.Level)
+			if sol.Partition != nil {
+				fmt.Fprintf(&b, " from the partition {%s}",
+					strings.Join(partitionInterfaces(sol.Partition), ", "))
+			}
+			b.WriteByte('\n')
+		default:
+			b.WriteString("  partially consistent: no partition covers every labelable cluster;\n")
+			b.WriteString("  per-partition solutions were concatenated (§4.2.2)\n")
+		}
+		if sol.Repaired {
+			b.WriteString("  a homonym conflict was repaired from a source row (§4.2.3)\n")
+		}
+	}
+
+	if len(r.IsolatedLabels) > 0 {
+		b.WriteString("\nisolated clusters (representative-name election, §4.4):\n")
+		var names []string
+		for name := range r.IsolatedLabels {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-18s -> %q  (most descriptive hierarchy root)\n",
+				name, r.IsolatedLabels[name])
+		}
+	}
+
+	for _, nr := range r.Nodes {
+		fmt.Fprintf(&b, "\ninternal node over [%s]\n", strings.Join(nr.Clusters, ", "))
+		if nr.Assigned == "" {
+			switch {
+			case nr.Promoted:
+				b.WriteString("  UNLABELED: every candidate label also belongs to an ancestor\n")
+				b.WriteString("  (L_e − L_path(e) = ∅; the candidates are promoted — Definition 8)\n")
+			case nr.PotentialCount > 0:
+				fmt.Fprintf(&b, "  UNLABELED: %d potential label(s) examined, none covers the node's\n",
+					nr.PotentialCount)
+				b.WriteString("  descendant clusters (Definition 8: the interface is inconsistent)\n")
+			default:
+				b.WriteString("  unlabeled: no source titles any subset of these fields\n")
+			}
+			continue
+		}
+		for _, c := range nr.Candidates {
+			marker := "candidate"
+			if c.Label == nr.Assigned {
+				marker = "ASSIGNED "
+			}
+			fmt.Fprintf(&b, "  %s %q  %s, from %s\n",
+				marker, c.Label, ruleName(c.Rule), joinOrNone(c.Origins))
+		}
+		if nr.Assigned != "" && !nr.GroupConsistent {
+			b.WriteString("  note: not consistent with every descendant group's solution\n")
+			b.WriteString("  (Definition 6) — the node is only weakly consistent\n")
+		}
+	}
+	return b.String()
+}
+
+// suppliersOf lists the interfaces whose relation tuple carries the chosen
+// label for the given column.
+func suppliersOf(gr *GroupReport, col int, label string) []string {
+	var out []string
+	for _, t := range gr.Outcome.Relation.Tuples {
+		if col < len(t.Labels) && t.Labels[col] == label {
+			out = append(out, t.Interface)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func partitionInterfaces(p *Partition) []string {
+	var out []string
+	for _, t := range p.Tuples {
+		out = append(out, t.Interface)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ruleName spells out the inference rule behind a candidate label.
+func ruleName(rule int) string {
+	switch rule {
+	case 2:
+		return "via LI2 (same title across interfaces covers the union of their fields)"
+	case 3:
+		return "via LI3 (a hyponym title's fields extend this title's coverage)"
+	case 4:
+		return "via LI4 (the hypernymy hierarchy pools several hyponyms' fields)"
+	case 5:
+		return "via LI5 (the remaining fields are characterized by covered ones)"
+	default:
+		return fmt.Sprintf("via LI%d", rule)
+	}
+}
+
+func joinOrNone(ss []string) string {
+	if len(ss) == 0 {
+		return "(none)"
+	}
+	return strings.Join(ss, ", ")
+}

@@ -1,0 +1,81 @@
+package naming
+
+import (
+	"strings"
+	"testing"
+
+	"qilabel/internal/schema"
+)
+
+func TestExplainConsistentPipeline(t *testing.T) {
+	_, res := pipeline(t, Options{}, airlineSources()...)
+	out := res.Explain()
+	for _, want := range []string{
+		"classification:",
+		"group [c_Depart, c_Dest]",
+		"supplied by",
+		"solved at the string consistency level",
+		"internal node over",
+		"ASSIGNED",
+		"via LI2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnlabeledReasons(t *testing.T) {
+	// A promoted node: group and super share the only label.
+	trees := []*schema.Tree{
+		schema.NewTree("s1",
+			schema.NewGroup("Pick-up",
+				schema.NewGroup("Pick-up",
+					schema.NewField("City", "c_City"),
+					schema.NewField("Airport", "c_Airport"),
+				),
+				schema.NewField("Date", "c_Date"),
+			),
+			schema.NewField("Promo", "c_Promo"),
+		),
+		schema.NewTree("s2",
+			schema.NewGroup("Pick-up",
+				schema.NewGroup("Pick-up",
+					schema.NewField("City", "c_City"),
+					schema.NewField("Airport", "c_Airport"),
+				),
+				schema.NewField("Date", "c_Date"),
+			),
+			schema.NewField("Promo", "c_Promo"),
+		),
+	}
+	_, res := pipeline(t, Options{}, trees...)
+	out := res.Explain()
+	if !strings.Contains(out, "promoted") {
+		t.Errorf("expected a promoted-candidates explanation:\n%s", out)
+	}
+}
+
+func TestExplainPartialAndUnlabelable(t *testing.T) {
+	trees := []*schema.Tree{
+		schema.NewTree("s1",
+			schema.NewGroup("G",
+				schema.NewField("Alpha", "c_A"),
+				schema.NewField("", "c_N", "v1", "v2"), // never labeled anywhere
+			),
+			schema.NewField("Promo", "c_P"),
+		),
+		schema.NewTree("s2",
+			schema.NewGroup("G",
+				schema.NewField("Alpha", "c_A"),
+				schema.NewField("", "c_N", "v1", "v2"),
+			),
+			schema.NewField("Promo", "c_P"),
+		),
+	}
+	_, res := pipeline(t, Options{}, trees...)
+	out := res.Explain()
+	if !strings.Contains(out, "no source ever labels this field") {
+		t.Errorf("expected the unlabelable-field explanation:\n%s", out)
+	}
+}

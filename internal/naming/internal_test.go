@@ -1,0 +1,274 @@
+package naming
+
+import (
+	"testing"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/schema"
+)
+
+func setOf(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func mappingFor(trees ...*schema.Tree) *cluster.Mapping {
+	m, err := cluster.FromTrees(trees)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestCandidateLabelsLI2 reproduces Figure 8 (left): the label Location
+// appears in multiple interfaces covering different parts of an address;
+// the union of the covered sets equals X, so Location is a candidate.
+func TestCandidateLabelsLI2(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Location",
+			schema.NewField("City", "c_City"),
+			schema.NewField("State", "c_State"))),
+		schema.NewTree("i2", schema.NewGroup("Location",
+			schema.NewField("State", "c_State"),
+			schema.NewField("Zip Code", "c_Zip"))),
+		schema.NewTree("i3", schema.NewGroup("Location",
+			schema.NewField("County", "c_County"))),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_City", "c_State", "c_Zip", "c_County")
+	var counters Counters
+	cands, _ := s.candidateLabels(x, units, m, SolverOptions{Counters: &counters})
+	if len(cands) != 1 || cands[0].Label != "Location" {
+		t.Fatalf("candidates = %+v, want [Location]", cands)
+	}
+	if cands[0].Rule != 2 {
+		t.Errorf("rule = %d, want LI2", cands[0].Rule)
+	}
+	if len(cands[0].Origins) != 3 {
+		t.Errorf("origins = %v, want all three interfaces", cands[0].Origins)
+	}
+	if counters.LI[2] == 0 {
+		t.Error("LI2 firing must be counted")
+	}
+}
+
+// TestCandidateLabelsLI3LI4 reproduces Figure 8 (middle): the generic
+// question "Do you have any preferences?" is a hypernym of both specific
+// preference labels and semantically covers their union.
+func TestCandidateLabelsLI3LI4(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Do you have any preferences?",
+			schema.NewField("Meal", "c_Meal"))),
+		schema.NewTree("i2", schema.NewGroup("Airline Preferences",
+			schema.NewField("Carrier", "c_Carrier"))),
+		schema.NewTree("i3", schema.NewGroup("What are your service preferences?",
+			schema.NewField("Service Level", "c_Service"))),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_Meal", "c_Carrier", "c_Service")
+	var counters Counters
+	cands, _ := s.candidateLabels(x, units, m, SolverOptions{Counters: &counters})
+	var got *CandidateLabel
+	for i := range cands {
+		if cands[i].Label == "Do you have any preferences?" {
+			got = &cands[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("generic question missing from candidates: %+v", cands)
+	}
+	if got.Rule != 3 && got.Rule != 4 {
+		t.Errorf("rule = %d, want LI3/LI4", got.Rule)
+	}
+	if counters.LI[3]+counters.LI[4] == 0 {
+		t.Error("LI3/LI4 firing must be counted")
+	}
+}
+
+// TestCandidateLabelsLI1 reproduces the Location / Property Location
+// equivalence: Location (hypernym) covers a subset of Property Location's
+// leaves, so the two labels are semantically equivalent in the domain and
+// their coverages merge.
+func TestCandidateLabelsLI1(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Location",
+			schema.NewField("State", "c_State"),
+			schema.NewField("County", "c_County"))),
+		schema.NewTree("i2", schema.NewGroup("Property Location",
+			schema.NewField("State", "c_State"),
+			schema.NewField("County", "c_County"),
+			schema.NewField("City", "c_City"))),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_State", "c_County", "c_City")
+	var counters Counters
+	cands, _ := s.candidateLabels(x, units, m, SolverOptions{Counters: &counters})
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v, want one merged label", cands)
+	}
+	// The merged potential keeps the more descriptive display form.
+	if cands[0].Label != "Property Location" {
+		t.Errorf("label = %q, want Property Location", cands[0].Label)
+	}
+	if counters.LI[1] == 0 {
+		t.Error("LI1 firing must be counted")
+	}
+	if len(cands[0].Origins) != 2 {
+		t.Errorf("origins = %v, want both interfaces", cands[0].Origins)
+	}
+}
+
+// TestCandidateLabelsLI5 reproduces Figure 8 (right): Car Information
+// covers {Make, Model, From, To} but not Keywords; the source node labeled
+// Make/Model over {Make, Model, Keywords} shows Keywords is characterized
+// by {Make, Model}, extending Car Information over the whole set.
+func TestCandidateLabelsLI5(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Car Information",
+			schema.NewField("Make", "c_Make"),
+			schema.NewField("Model", "c_Model"),
+			schema.NewField("From", "c_From"),
+			schema.NewField("To", "c_To"))),
+		schema.NewTree("i2", schema.NewGroup("Make/Model",
+			schema.NewField("Brand", "c_Make"),
+			schema.NewField("Model", "c_Model"),
+			schema.NewField("Keywords", "c_Keyword"))),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_Make", "c_Model", "c_From", "c_To", "c_Keyword")
+	var counters Counters
+	cands, _ := s.candidateLabels(x, units, m, SolverOptions{Counters: &counters})
+	var got *CandidateLabel
+	for i := range cands {
+		if cands[i].Label == "Car Information" {
+			got = &cands[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("Car Information missing: %+v", cands)
+	}
+	if got.Rule != 5 {
+		t.Errorf("rule = %d, want LI5", got.Rule)
+	}
+	if counters.LI[5] == 0 {
+		t.Error("LI5 firing must be counted")
+	}
+}
+
+// TestCandidateLabelsLI5Instances checks LI5's first condition: the
+// instances of Z are a subset of the instances of the covered fields.
+func TestCandidateLabelsLI5Instances(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Vehicle",
+			schema.NewField("Body Style", "c_Body", "sedan", "coupe", "convertible"))),
+		schema.NewTree("i2",
+			schema.NewField("Body", "c_Body", "sedan", "coupe", "convertible", "van"),
+			schema.NewField("Style", "c_Style", "sedan", "coupe")),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_Body", "c_Style")
+	var counters Counters
+	cands, _ := s.candidateLabels(x, units, m,
+		SolverOptions{UseInstances: true, Counters: &counters})
+	var got *CandidateLabel
+	for i := range cands {
+		if cands[i].Label == "Vehicle" {
+			got = &cands[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("Vehicle missing: %+v", cands)
+	}
+	if got.Rule != 5 {
+		t.Errorf("rule = %d, want LI5 via instance containment", got.Rule)
+	}
+	// Without instances the extension must fail.
+	cands, _ = s.candidateLabels(x, units, m, SolverOptions{UseInstances: false})
+	for _, c := range cands {
+		if c.Label == "Vehicle" {
+			t.Error("LI5 instance condition must be off without instances")
+		}
+	}
+}
+
+// TestCandidateLabelsCombination reproduces Figure 7: LI2 enlarges
+// Location's coverage over the address fields, and LI3 (Location hypernym
+// of Area) extends it over Locate within; together they make Location a
+// candidate for the full set.
+func TestCandidateLabelsCombination(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Location",
+			schema.NewField("City", "c_City"),
+			schema.NewField("State", "c_State"))),
+		schema.NewTree("i2", schema.NewGroup("Location",
+			schema.NewField("State", "c_State"),
+			schema.NewField("Zip Code", "c_Zip"))),
+		schema.NewTree("i3", schema.NewGroup("Area",
+			schema.NewField("Locate within", "c_Within"),
+			schema.NewField("Zip", "c_Zip"))),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_City", "c_State", "c_Zip", "c_Within")
+	var counters Counters
+	cands, _ := s.candidateLabels(x, units, m, SolverOptions{Counters: &counters})
+	var got *CandidateLabel
+	for i := range cands {
+		if cands[i].Label == "Location" {
+			got = &cands[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("Location missing: %+v", cands)
+	}
+	if got.Rule != 3 && got.Rule != 4 {
+		t.Errorf("rule = %d, want hypernymy extension", got.Rule)
+	}
+}
+
+// TestCandidateLabelsNone: when no source label covers X and no inference
+// applies, the candidate set is empty ("a good chance a label does not
+// exist").
+func TestCandidateLabelsNone(t *testing.T) {
+	s := NewSemantics(nil)
+	trees := []*schema.Tree{
+		schema.NewTree("i1", schema.NewGroup("Departure",
+			schema.NewField("From", "c_From"))),
+		schema.NewTree("i2", schema.NewGroup("Passengers",
+			schema.NewField("Adults", "c_Adult"))),
+	}
+	m := mappingFor(trees...)
+	units := collectSourceUnits(trees)
+	x := setOf("c_From", "c_Adult")
+	cands, _ := s.candidateLabels(x, units, m, SolverOptions{})
+	if len(cands) != 0 {
+		t.Errorf("candidates = %+v, want none", cands)
+	}
+}
+
+// Unlabeled source nodes contribute nothing.
+func TestCollectSourceUnitsSkipsUnlabeled(t *testing.T) {
+	trees := []*schema.Tree{
+		schema.NewTree("i1",
+			schema.NewGroup("", schema.NewField("A", "c_A")),
+			schema.NewGroup("G", schema.NewField("B", "c_B"))),
+	}
+	units := collectSourceUnits(trees)
+	if len(units) != 1 || units[0].label != "G" {
+		t.Errorf("units = %+v, want only the labeled node", units)
+	}
+}

@@ -1,0 +1,147 @@
+package naming
+
+import (
+	"testing"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/schema"
+)
+
+func clusterWith(members ...*schema.Node) *cluster.Cluster {
+	c := &cluster.Cluster{Name: "c_X"}
+	for i, m := range members {
+		c.Members = append(c.Members, cluster.Member{
+			Interface: string(rune('a' + i)),
+			Leaf:      m,
+		})
+	}
+	return c
+}
+
+// TestLabelIsolatedPaperExample reproduces §4.4's example: among {Class,
+// Class of Ticket, Preferred Cabin, Flight Class}, two hierarchies arise
+// (Class above Class of Ticket and Flight Class; Preferred Cabin alone);
+// the most descriptive root — Preferred Cabin — is elected.
+func TestLabelIsolatedPaperExample(t *testing.T) {
+	s := NewSemantics(nil)
+	c := clusterWith(
+		schema.NewField("Class", "c_X"),
+		schema.NewField("Class of Ticket", "c_X"),
+		schema.NewField("Preferred Cabin", "c_X"),
+		schema.NewField("Flight Class", "c_X"),
+	)
+	got := s.LabelIsolated(c, SolverOptions{})
+	if got != "Preferred Cabin" {
+		t.Errorf("LabelIsolated = %q, want Preferred Cabin", got)
+	}
+}
+
+func TestLabelIsolatedSingleAndEmpty(t *testing.T) {
+	s := NewSemantics(nil)
+	if got := s.LabelIsolated(clusterWith(schema.NewField("Garage", "c_X")), SolverOptions{}); got != "Garage" {
+		t.Errorf("single label = %q, want Garage", got)
+	}
+	if got := s.LabelIsolated(clusterWith(schema.NewField("", "c_X")), SolverOptions{}); got != "" {
+		t.Errorf("unlabeled cluster = %q, want empty", got)
+	}
+}
+
+func TestLabelIsolatedFrequencyTiebreak(t *testing.T) {
+	s := NewSemantics(nil)
+	// Two unrelated roots: descriptiveness decides first.
+	c := clusterWith(
+		schema.NewField("Garage", "c_X"),
+		schema.NewField("Outdoor Pool", "c_X"),
+		schema.NewField("Garage", "c_X"),
+		schema.NewField("Garage", "c_X"),
+	)
+	// Outdoor Pool has 2 content words > Garage's 1, so it wins on
+	// descriptiveness despite lower frequency.
+	if got := s.LabelIsolated(c, SolverOptions{}); got != "Outdoor Pool" {
+		t.Errorf("got %q, want the more descriptive Outdoor Pool", got)
+	}
+	// With equal descriptiveness, frequency wins.
+	c2 := clusterWith(
+		schema.NewField("Garage", "c_X"),
+		schema.NewField("Basement", "c_X"),
+		schema.NewField("Garage", "c_X"),
+	)
+	if got := s.LabelIsolated(c2, SolverOptions{}); got != "Garage" {
+		t.Errorf("got %q, want the more frequent Garage", got)
+	}
+}
+
+// TestLabelIsolatedLI6 reproduces §6.1.1 / Figure 9: Class is the hierarchy
+// root, but its accumulated domain equals Flight Class's, so LI 6 bounds
+// its meaning and the more descriptive Flight Class is elected.
+func TestLabelIsolatedLI6(t *testing.T) {
+	s := NewSemantics(nil)
+	c := clusterWith(
+		schema.NewField("Class", "c_X", "economy", "business", "first"),
+		schema.NewField("Class of Tickets", "c_X", "economy"),
+		schema.NewField("Flight Class", "c_X", "economy", "business", "first"),
+	)
+	var counters Counters
+	got := s.LabelIsolated(c, SolverOptions{UseInstances: true, Counters: &counters})
+	if got != "Flight Class" {
+		t.Errorf("LabelIsolated with LI6 = %q, want Flight Class", got)
+	}
+	if counters.LI[6] == 0 {
+		t.Error("LI6 firing should be counted")
+	}
+	// Without instances, the bare root Class remains and loses only to
+	// other descriptive roots; here Class is the sole root, so it wins.
+	got = s.LabelIsolated(c, SolverOptions{UseInstances: false})
+	if got != "Class" {
+		t.Errorf("LabelIsolated without LI6 = %q, want Class", got)
+	}
+}
+
+// TestLabelIsolatedLI6RequiresDomainContainment: if the descriptive
+// hyponym's domain does not include the root's, LI6 must not fire.
+func TestLabelIsolatedLI6RequiresDomainContainment(t *testing.T) {
+	s := NewSemantics(nil)
+	c := clusterWith(
+		schema.NewField("Class", "c_X", "economy", "business", "first"),
+		schema.NewField("Flight Class", "c_X", "economy"), // smaller domain
+	)
+	var counters Counters
+	got := s.LabelIsolated(c, SolverOptions{UseInstances: true, Counters: &counters})
+	if got != "Class" {
+		t.Errorf("got %q, want Class (no domain containment)", got)
+	}
+	if counters.LI[6] != 0 {
+		t.Error("LI6 must not fire without domain containment")
+	}
+}
+
+// TestLabelIsolatedLI7 discards a label that is a data value of a sibling
+// field (the hardcover/Format case of §6.1.2).
+func TestLabelIsolatedLI7(t *testing.T) {
+	s := NewSemantics(nil)
+	c := clusterWith(
+		schema.NewField("Format", "c_X", "hardcover", "paperback"),
+		schema.NewField("hardcover", "c_X"),
+	)
+	var counters Counters
+	got := s.LabelIsolated(c, SolverOptions{UseInstances: true, Counters: &counters})
+	if got != "Format" {
+		t.Errorf("LabelIsolated = %q, want Format", got)
+	}
+	if counters.LI[7] == 0 {
+		t.Error("LI7 firing should be counted")
+	}
+}
+
+// All labels being values of each other must not discard everything.
+func TestLabelIsolatedLI7KeepsSomething(t *testing.T) {
+	s := NewSemantics(nil)
+	c := clusterWith(
+		schema.NewField("paperback", "c_X", "hardcover"),
+		schema.NewField("hardcover", "c_X", "paperback"),
+	)
+	got := s.LabelIsolated(c, SolverOptions{UseInstances: true})
+	if got == "" {
+		t.Error("LI7 must keep at least one label")
+	}
+}

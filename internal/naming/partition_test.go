@@ -1,0 +1,247 @@
+package naming
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qilabel/internal/cluster"
+)
+
+// randomRelation builds a small relation from a seed: 2-5 clusters, 2-10
+// tuples, labels drawn from a pool with deliberate overlaps so partitions
+// of every size arise.
+func randomRelation(seed int64) *cluster.Relation {
+	x := uint64(seed)
+	next := func(n int) int {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := int((x >> 33) % uint64(n))
+		return v
+	}
+	pool := []string{"", "Adults", "Adult", "Children", "Child", "Seniors",
+		"Class", "Class of Ticket", "Preferred Airline", "Airline Preference",
+		"Area of Study", "Field of Work", "Min", "Max", "From", "To"}
+	nCols := 2 + next(4)
+	nRows := 2 + next(9)
+	rel := &cluster.Relation{}
+	for c := 0; c < nCols; c++ {
+		rel.Clusters = append(rel.Clusters, &cluster.Cluster{Name: string(rune('A' + c))})
+	}
+	for r := 0; r < nRows; r++ {
+		t := cluster.Tuple{
+			Interface: string(rune('a' + r)),
+			Labels:    make([]string, nCols),
+			Instances: make([][]string, nCols),
+		}
+		for c := 0; c < nCols; c++ {
+			t.Labels[c] = pool[next(len(pool))]
+		}
+		if t.NonNull() > 0 {
+			rel.Tuples = append(rel.Tuples, t)
+		}
+	}
+	return rel
+}
+
+// TestPartitionsArePartition: every tuple lands in exactly one partition,
+// and tuples within a partition are connected by the consistency relation.
+func TestPartitionsArePartition(t *testing.T) {
+	s := NewSemantics(nil)
+	f := func(seed int64) bool {
+		rel := randomRelation(seed)
+		for level := LevelString; level <= LevelSynonymy; level++ {
+			parts := s.Partitions(rel, level)
+			count := 0
+			for _, p := range parts {
+				count += len(p.Tuples)
+				if !connected(s, p.Tuples, level) {
+					return false
+				}
+			}
+			if count != len(rel.Tuples) {
+				return false
+			}
+			// Maximality: no two tuples of different partitions are
+			// consistent.
+			for i := 0; i < len(parts); i++ {
+				for j := i + 1; j < len(parts); j++ {
+					for _, a := range parts[i].Tuples {
+						for _, b := range parts[j].Tuples {
+							if s.TuplesConsistent(a, b, level) {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// connected verifies the tuples form one connected component under the
+// consistency relation at the given level.
+func connected(s *Semantics, tuples []cluster.Tuple, level Level) bool {
+	if len(tuples) <= 1 {
+		return true
+	}
+	seen := make([]bool, len(tuples))
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for j := range tuples {
+			if !seen[j] && s.TuplesConsistent(tuples[i], tuples[j], level) {
+				seen[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPartitionsMonotoneInLevel: weakening the level never increases the
+// number of partitions (levels are cumulative).
+func TestPartitionsMonotoneInLevel(t *testing.T) {
+	s := NewSemantics(nil)
+	f := func(seed int64) bool {
+		rel := randomRelation(seed)
+		prev := -1
+		for level := LevelString; level <= LevelSynonymy; level++ {
+			n := len(s.Partitions(rel, level))
+			if prev >= 0 && n > prev {
+				return false
+			}
+			prev = n
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombineClosureProvenance: every label of every closure tuple appears
+// in the same column of some original tuple, and the originals are kept.
+func TestCombineClosureProvenance(t *testing.T) {
+	s := NewSemantics(nil)
+	f := func(seed int64) bool {
+		rel := randomRelation(seed)
+		closure := s.CombineClosure(rel.Tuples, LevelSynonymy)
+		colLabels := make([]map[string]bool, len(rel.Clusters))
+		for c := range colLabels {
+			colLabels[c] = map[string]bool{}
+			for _, t := range rel.Tuples {
+				colLabels[c][t.Labels[c]] = true
+			}
+		}
+		keys := map[string]bool{}
+		for _, t := range closure {
+			keys[tupleKey(t)] = true
+			for c, l := range t.Labels {
+				if l != "" && !colLabels[c][l] {
+					return false
+				}
+			}
+		}
+		for _, t := range rel.Tuples {
+			if !keys[tupleKey(t)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyCoversMatchClosureCoverage: for small partitions, the greedy
+// covers reach the same per-column coverage as the exhaustive closure.
+func TestGreedyCoversMatchClosureCoverage(t *testing.T) {
+	s := NewSemantics(nil)
+	f := func(seed int64) bool {
+		rel := randomRelation(seed)
+		for _, p := range s.Partitions(rel, LevelSynonymy) {
+			if len(p.Tuples) > 8 {
+				continue
+			}
+			closure := s.CombineClosure(p.Tuples, LevelSynonymy)
+			bestClosure := 0
+			for _, t := range closure {
+				if n := t.NonNull(); n > bestClosure {
+					bestClosure = n
+				}
+			}
+			bestGreedy := 0
+			for _, t := range s.greedyCovers(p, LevelSynonymy) {
+				if n := t.NonNull(); n > bestGreedy {
+					bestGreedy = n
+				}
+			}
+			if bestGreedy < bestClosure {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveGroupLabelProvenance: the solver's labels always come from the
+// relation's own columns.
+func TestSolveGroupLabelProvenance(t *testing.T) {
+	s := NewSemantics(nil)
+	f := func(seed int64) bool {
+		rel := randomRelation(seed)
+		out := s.SolveGroup(rel, SolverOptions{})
+		for _, sol := range out.Solutions {
+			for c, l := range sol.Labels {
+				if l == "" {
+					continue
+				}
+				found := false
+				for _, t := range rel.Tuples {
+					if t.Labels[c] == l {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveGroupAlwaysReturnsSomething: any non-empty relation yields at
+// least one solution (consistent or partially consistent).
+func TestSolveGroupAlwaysReturnsSomething(t *testing.T) {
+	s := NewSemantics(nil)
+	f := func(seed int64) bool {
+		rel := randomRelation(seed)
+		if len(rel.Tuples) == 0 {
+			return true
+		}
+		out := s.SolveGroup(rel, SolverOptions{})
+		return len(out.Solutions) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package naming implements the paper's contribution: the algorithm that
+// assigns meaningful, consistent labels to every node of an integrated
+// query interface (§3–§6).
+//
+// The package is organized along the paper's structure:
+//
+//   - semantics.go — the semantic rules on content words (Definition 1);
+//   - consistency.go — the three consistency levels between tuples of a
+//     group relation (Definition 2) and the Combine operators
+//     (Definition 3);
+//   - partition.go — the graph-closure partitioning of a group relation
+//     (§4.1.1, Proposition 1);
+//   - groups.go — consistent, partially consistent and conflict-free
+//     naming solutions for groups (§4.2);
+//   - isolated.go — the representative-attribute-name variant for isolated
+//     clusters (§4.4) with the most-descriptive rule and the instance rules
+//     LI6/LI7 (§6.1);
+//   - internal.go — candidate labels for internal nodes via the inference
+//     rules LI1–LI5 (§5);
+//   - algorithm.go — the three-phase traversal assembling a labeling for
+//     the whole integrated schema tree and classifying it as consistent,
+//     weakly consistent or inconsistent (Definition 8, §6).
+package naming
+
+import (
+	"strings"
+
+	"qilabel/internal/lexicon"
+	"qilabel/internal/stem"
+	"qilabel/internal/token"
+)
+
+// Rel is a semantic relationship between two labels per Definition 1.
+type Rel int
+
+const (
+	// RelNone means none of Definition 1's relationships holds.
+	RelNone Rel = iota
+	// RelStringEqual: the labels are identical as (display-normalized)
+	// strings, e.g. "From" string-equal "From".
+	RelStringEqual
+	// RelEqual: the content-word sets are identical, e.g. "Type of Job"
+	// equals "Job Type".
+	RelEqual
+	// RelSynonym: same cardinality and the content words align by
+	// equality/synonymy with at least one synonymy, e.g. "Area of Study"
+	// and "Field of Work".
+	RelSynonym
+	// RelHypernym: the first label is more general than the second, e.g.
+	// "Class" is a hypernym of "Class of Tickets".
+	RelHypernym
+	// RelHyponym: the first label is more specific than the second.
+	RelHyponym
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (r Rel) String() string {
+	switch r {
+	case RelStringEqual:
+		return "string-equal"
+	case RelEqual:
+		return "equal"
+	case RelSynonym:
+		return "synonym"
+	case RelHypernym:
+		return "hypernym"
+	case RelHyponym:
+		return "hyponym"
+	default:
+		return "none"
+	}
+}
+
+// word is one content word of a label in both representations Definition 1
+// needs: the Porter stem (for the "equality" comparisons that make
+// "Preferred Airline" equal "Airline Preference") and the lexical base form
+// (the key into the WordNet-substitute for synonymy and hypernymy).
+type word struct {
+	stem string
+	base string
+}
+
+// labelWords is the content-word representation of a label.
+type labelWords struct {
+	display string // normalization step one
+	words   []word // normalization step two, duplicate-stem free
+	// conjunction marks labels containing "and"/"or"/"&"/"/", for which
+	// Definition 1 does not define hypernymy.
+	conjunction bool
+}
+
+// Semantics evaluates Definition 1's relationships using a lexicon. It
+// caches label analyses; a Semantics is NOT safe for concurrent use.
+type Semantics struct {
+	lex   *lexicon.Lexicon
+	cache map[string]*labelWords
+}
+
+// NewSemantics creates a Semantics over the given lexicon (nil means the
+// default embedded lexicon).
+func NewSemantics(lex *lexicon.Lexicon) *Semantics {
+	if lex == nil {
+		lex = lexicon.Default()
+	}
+	return &Semantics{lex: lex, cache: make(map[string]*labelWords)}
+}
+
+// Lexicon returns the lexicon the semantics consults.
+func (s *Semantics) Lexicon() *lexicon.Lexicon { return s.lex }
+
+// analyze computes (and caches) the two-step normalization of a label.
+func (s *Semantics) analyze(label string) *labelWords {
+	if lw, ok := s.cache[label]; ok {
+		return lw
+	}
+	lw := &labelWords{display: token.NormalizeDisplay(label)}
+	raw := strings.ToLower(label)
+	lw.conjunction = strings.ContainsAny(raw, "&/") ||
+		containsToken(raw, "and") || containsToken(raw, "or")
+	seen := make(map[string]bool)
+	for _, tok := range token.Tokenize(label) {
+		if token.IsStopWord(tok) {
+			continue
+		}
+		base := s.lex.BaseForm(tok)
+		if token.IsStopWord(base) {
+			continue
+		}
+		st := stem.Stem(base)
+		if st == "" || seen[st] {
+			continue
+		}
+		seen[st] = true
+		lw.words = append(lw.words, word{stem: st, base: base})
+	}
+	s.cache[label] = lw
+	return lw
+}
+
+func containsToken(lower, tok string) bool {
+	for _, t := range token.Tokenize(lower) {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// ContentWordCount returns the number of content words of a label, the
+// expressiveness measure of §4.2.1.
+func (s *Semantics) ContentWordCount(label string) int {
+	return len(s.analyze(label).words)
+}
+
+// ContentWords exposes the content-word stems of a label (sorted), mainly
+// for LI5's subset tests and for diagnostics.
+func (s *Semantics) ContentWords(label string) []string {
+	lw := s.analyze(label)
+	out := make([]string, len(lw.words))
+	for i, w := range lw.words {
+		out[i] = w.stem
+	}
+	sortStrings(out)
+	return out
+}
+
+// wordEqual: the tokens agree by stem or by base form.
+func (s *Semantics) wordEqual(a, b word) bool {
+	return a.stem == b.stem || a.base == b.base
+}
+
+// wordSynonym consults the lexicon on base forms.
+func (s *Semantics) wordSynonym(a, b word) bool {
+	return s.lex.Synonym(a.base, b.base)
+}
+
+// wordHypernym: a is a hypernym of b.
+func (s *Semantics) wordHypernym(a, b word) bool {
+	return s.lex.Hypernym(a.base, b.base)
+}
+
+// Relate computes the strongest Definition 1 relationship from a to b, in
+// the precedence order string-equal, equal, synonym, hypernym, hyponym.
+func (s *Semantics) Relate(a, b string) Rel {
+	la, lb := s.analyze(a), s.analyze(b)
+	if la.display != "" && strings.EqualFold(la.display, lb.display) {
+		return RelStringEqual
+	}
+	if len(la.words) == 0 || len(lb.words) == 0 {
+		return RelNone
+	}
+	if s.setsEqual(la, lb) {
+		return RelEqual
+	}
+	if s.synonymMatch(la, lb) {
+		return RelSynonym
+	}
+	// Definition 1 excludes labels with conjunctions from hypernymy.
+	if !la.conjunction && !lb.conjunction {
+		if s.hypernymMatch(la, lb) {
+			return RelHypernym
+		}
+		if s.hypernymMatch(lb, la) {
+			return RelHyponym
+		}
+	}
+	return RelNone
+}
+
+// Equivalent reports whether the two labels are string-equal, equal or
+// synonyms — the relations the naming algorithm treats as "the same label"
+// when collecting potential labels and detecting homonyms.
+func (s *Semantics) Equivalent(a, b string) bool {
+	switch s.Relate(a, b) {
+	case RelStringEqual, RelEqual, RelSynonym:
+		return true
+	}
+	return false
+}
+
+// setsEqual implements the "equal" relation: identical content-word sets.
+func (s *Semantics) setsEqual(la, lb *labelWords) bool {
+	if len(la.words) != len(lb.words) {
+		return false
+	}
+	used := make([]bool, len(lb.words))
+outer:
+	for _, wa := range la.words {
+		for j, wb := range lb.words {
+			if !used[j] && s.wordEqual(wa, wb) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// synonymMatch implements the "synonym" relation: n == m, all words of both
+// labels participate in an equality-or-synonymy alignment, at least one
+// pair being synonymy. The alignment is a perfect matching; content-word
+// sets are tiny (≤ 8 words), so a backtracking search is exact and cheap.
+func (s *Semantics) synonymMatch(la, lb *labelWords) bool {
+	n := len(la.words)
+	if n != len(lb.words) {
+		return false
+	}
+	used := make([]bool, n)
+	var try func(i int, haveSyn bool) bool
+	try = func(i int, haveSyn bool) bool {
+		if i == n {
+			return haveSyn
+		}
+		wa := la.words[i]
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			wb := lb.words[j]
+			eq := s.wordEqual(wa, wb)
+			syn := !eq && s.wordSynonym(wa, wb)
+			if !eq && !syn {
+				continue
+			}
+			used[j] = true
+			if try(i+1, haveSyn || syn) {
+				used[j] = false
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	return try(0, false)
+}
+
+// hypernymMatch implements the "hypernym" relation from a to b: n <= m and
+// every word of a relates (equality, synonymy or hypernymy) to some word of
+// b, with either n < m or at least one hypernymy link.
+func (s *Semantics) hypernymMatch(la, lb *labelWords) bool {
+	n, m := len(la.words), len(lb.words)
+	if n > m {
+		return false
+	}
+	anyHyper := false
+	for _, wa := range la.words {
+		matched := false
+		for _, wb := range lb.words {
+			switch {
+			case s.wordEqual(wa, wb):
+				matched = true
+			case s.wordSynonym(wa, wb):
+				matched = true
+			case s.wordHypernym(wa, wb):
+				matched = true
+				anyHyper = true
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return n < m || anyHyper
+}
+
+// AtLeastAsGeneral reports whether label a is semantically at least as
+// general as label b by the lexical half of Definition 5 (the structural
+// half — descendant-leaf containment — is evaluated where the tree context
+// is available).
+func (s *Semantics) AtLeastAsGeneral(a, b string) bool {
+	switch s.Relate(a, b) {
+	case RelStringEqual, RelEqual, RelSynonym, RelHypernym:
+		return true
+	}
+	return false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

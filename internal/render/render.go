@@ -1,0 +1,127 @@
+// Package render turns a labeled integrated schema tree into an HTML form
+// — the artifact the whole pipeline exists to produce: one well-designed
+// query interface a user can actually fill in, standing for all the
+// sources of a domain.
+//
+// The rendering follows the structural conventions the paper observes on
+// well-designed interfaces: groups and super-groups become nested
+// <fieldset> elements titled by their <legend>; fields with predefined
+// instances become <select> lists; free-text fields become <input>
+// elements; unlabeled fields fall back to their sibling context (the
+// Real Estate "No Label" case renders as a bare control inside its group,
+// exactly as Figure 11 shows it).
+package render
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"qilabel/internal/schema"
+)
+
+// Options tune the rendering.
+type Options struct {
+	// Title is the page and form title (default "Integrated Query
+	// Interface").
+	Title string
+	// Compact omits the surrounding HTML document and returns only the
+	// <form> element.
+	Compact bool
+}
+
+// HTML renders the labeled integrated schema tree.
+func HTML(t *schema.Tree, opts Options) string {
+	if opts.Title == "" {
+		opts.Title = "Integrated Query Interface"
+	}
+	var b strings.Builder
+	if !opts.Compact {
+		fmt.Fprintf(&b, `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>%s</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem; }
+  form { max-width: 40rem; }
+  fieldset { border: 1px solid #bbb; border-radius: 4px; margin: 0 0 1rem; padding: .75rem 1rem; }
+  legend { font-weight: 600; padding: 0 .4rem; }
+  label { display: block; margin: .5rem 0 .15rem; }
+  input, select { width: 100%%; box-sizing: border-box; padding: .3rem; }
+  button { margin-top: 1rem; padding: .5rem 1.5rem; }
+</style>
+</head>
+<body>
+<h1>%s</h1>
+`, html.EscapeString(opts.Title), html.EscapeString(opts.Title))
+	}
+	b.WriteString("<form>\n")
+	for _, c := range t.Root.Children {
+		renderNode(&b, c, 1)
+	}
+	b.WriteString("  <button type=\"submit\">Search</button>\n</form>\n")
+	if !opts.Compact {
+		b.WriteString("</body>\n</html>\n")
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *schema.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		renderField(b, n, indent)
+		return
+	}
+	b.WriteString(indent)
+	b.WriteString("<fieldset>\n")
+	if strings.TrimSpace(n.Label) != "" {
+		fmt.Fprintf(b, "%s  <legend>%s</legend>\n", indent, html.EscapeString(n.Label))
+	}
+	for _, c := range n.Children {
+		renderNode(b, c, depth+1)
+	}
+	b.WriteString(indent)
+	b.WriteString("</fieldset>\n")
+}
+
+func renderField(b *strings.Builder, n *schema.Node, indent string) {
+	id := controlID(n)
+	if strings.TrimSpace(n.Label) != "" {
+		fmt.Fprintf(b, "%s<label for=%q>%s</label>\n", indent, id, html.EscapeString(n.Label))
+	}
+	if len(n.Instances) > 0 {
+		fmt.Fprintf(b, "%s<select id=%q name=%q>\n", indent, id, id)
+		fmt.Fprintf(b, "%s  <option value=\"\"></option>\n", indent)
+		for _, v := range n.Instances {
+			fmt.Fprintf(b, "%s  <option>%s</option>\n", indent, html.EscapeString(v))
+		}
+		fmt.Fprintf(b, "%s</select>\n", indent)
+		return
+	}
+	fmt.Fprintf(b, "%s<input type=\"text\" id=%q name=%q>\n", indent, id, id)
+}
+
+// controlID derives a stable, HTML-safe control identifier from the
+// field's cluster (preferred: stable across label changes) or label.
+func controlID(n *schema.Node) string {
+	base := n.Cluster
+	if base == "" {
+		base = n.Label
+	}
+	if base == "" {
+		base = "field"
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(base) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == '_' || r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,106 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"qilabel/internal/schema"
+)
+
+func sample() *schema.Tree {
+	return schema.NewTree("integrated",
+		schema.NewGroup("Passengers",
+			schema.NewField("Adults", "c_Adult"),
+			schema.NewField("Children", "c_Child"),
+		),
+		schema.NewGroup("Preferences",
+			schema.NewField("Class", "c_Class", "Economy", "Business"),
+			schema.NewField("", "c_NoLabel", "$500", "$1000"),
+		),
+		schema.NewField("Promo <Code>", "c_Promo"),
+	)
+}
+
+func TestHTMLStructure(t *testing.T) {
+	out := HTML(sample(), Options{Title: "Airline Search"})
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<title>Airline Search</title>",
+		"<legend>Passengers</legend>",
+		"<legend>Preferences</legend>",
+		`<label for="c_adult">Adults</label>`,
+		`<select id="c_class" name="c_class">`,
+		"<option>Economy</option>",
+		`<input type="text" id="c_adult" name="c_adult">`,
+		"Promo &lt;Code&gt;", // HTML escaping
+		`<button type="submit">Search</button>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The unlabeled field renders a control without a label element.
+	if strings.Contains(out, "<label for=\"c_nolabel\">") {
+		t.Error("unlabeled field must not render a label")
+	}
+	if !strings.Contains(out, `<select id="c_nolabel"`) {
+		t.Error("unlabeled field must still render its control")
+	}
+}
+
+func TestHTMLBalancedTags(t *testing.T) {
+	out := HTML(sample(), Options{})
+	for _, tag := range []string{"form", "fieldset", "select", "html", "body", "label"} {
+		open := strings.Count(out, "<"+tag)
+		closed := strings.Count(out, "</"+tag+">")
+		if open != closed {
+			t.Errorf("<%s>: %d opened, %d closed", tag, open, closed)
+		}
+	}
+}
+
+func TestHTMLCompact(t *testing.T) {
+	out := HTML(sample(), Options{Compact: true})
+	if strings.Contains(out, "<!DOCTYPE") || strings.Contains(out, "<body>") {
+		t.Error("compact output must omit the document wrapper")
+	}
+	if !strings.HasPrefix(out, "<form>") {
+		t.Errorf("compact output should start with <form>, got %q", out[:20])
+	}
+}
+
+func TestHTMLNestedGroups(t *testing.T) {
+	tree := schema.NewTree("integrated",
+		schema.NewGroup("Trip",
+			schema.NewGroup("Route",
+				schema.NewField("From", "c_From"),
+			),
+			schema.NewField("Class", "c_Class"),
+		),
+	)
+	out := HTML(tree, Options{Compact: true})
+	// Two nested fieldsets: Trip contains Route.
+	trip := strings.Index(out, "<legend>Trip</legend>")
+	route := strings.Index(out, "<legend>Route</legend>")
+	if trip < 0 || route < 0 || route < trip {
+		t.Errorf("Route must render inside Trip:\n%s", out)
+	}
+}
+
+func TestControlID(t *testing.T) {
+	cases := map[string]string{
+		"c_Adult": "c_adult",
+	}
+	for in, want := range cases {
+		n := schema.NewField("X", in)
+		if got := controlID(n); got != want {
+			t.Errorf("controlID(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := controlID(schema.NewField("Zip Code!", "")); got != "zip-code" {
+		t.Errorf("label-derived id = %q, want zip-code", got)
+	}
+	if got := controlID(schema.NewField("", "")); got != "field" {
+		t.Errorf("fallback id = %q, want field", got)
+	}
+}

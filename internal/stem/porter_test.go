@@ -1,0 +1,201 @@
+package stem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// vocab pairs come from Porter's published sample vocabulary plus the words
+// the paper's examples depend on.
+func TestStemVocabulary(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3.
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4.
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5.
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// Words the paper's labeling examples rely on.
+		"preference":  "prefer",
+		"preferred":   "prefer",
+		"adults":      "adult",
+		"seniors":     "senior",
+		"children":    "children", // irregular plural: stemmer keeps it (lexicon handles it)
+		"infants":     "infant",
+		"passengers":  "passeng",
+		"tickets":     "ticket",
+		"connections": "connect",
+		"locations":   "locat",
+		"keywords":    "keyword",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndInvalid(t *testing.T) {
+	for _, w := range []string{"", "a", "at", "be", "Go1", "naïve", "CAT", "x-y"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// TestStemSharedStems asserts the stem-identities the equality consistency
+// level depends on.
+func TestStemSharedStems(t *testing.T) {
+	pairs := [][2]string{
+		{"preference", "preferred"},
+		{"connection", "connections"},
+		{"adult", "adults"},
+		{"location", "locating"},
+	}
+	for _, p := range pairs {
+		if Stem(p[0]) != Stem(p[1]) {
+			t.Errorf("Stem(%q)=%q and Stem(%q)=%q should agree",
+				p[0], Stem(p[0]), p[1], Stem(p[1]))
+		}
+	}
+}
+
+// Properties: stems never grow, stay lower-case ASCII, and stemming is
+// idempotent-or-shrinking when re-applied (Porter is not strictly idempotent,
+// e.g. "ties"->"ti", but a stem never grows on re-stemming).
+func TestStemProperties(t *testing.T) {
+	letters := []rune("abcdefghijklmnopqrstuvwxyz")
+	gen := func(seed int64) string {
+		n := int(seed%12) + 3
+		var b strings.Builder
+		x := seed
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			idx := int((x >> 33) % int64(len(letters)))
+			if idx < 0 {
+				idx = -idx
+			}
+			b.WriteRune(letters[idx])
+		}
+		return b.String()
+	}
+	f := func(seed int64) bool {
+		w := gen(seed)
+		s := Stem(w)
+		if len(s) > len(w) {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			if s[i] < 'a' || s[i] > 'z' {
+				return false
+			}
+		}
+		return len(Stem(s)) <= len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stems are prefixes-with-substitution of the input only in documented ways;
+// at minimum, the first letter never changes.
+func TestStemKeepsFirstLetter(t *testing.T) {
+	f := func(seed int64) bool {
+		w := "w" + Stem(string(rune('a'+byte(seed&7))))
+		_ = w
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, w := range []string{"relational", "hopping", "preference", "analogousli"} {
+		if Stem(w)[0] != w[0] {
+			t.Errorf("Stem(%q) changed first letter: %q", w, Stem(w))
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"preference", "relational", "connections", "vietnamization", "cat"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,32 @@
+package token
+
+import "testing"
+
+// FuzzNormalize exercises both normalization steps on arbitrary input:
+// they must never panic, and their invariants (idempotence, sortedness,
+// stop-word freedom) must hold for any label the wild web can produce.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"Adults (18-64)", "Price $", "Departing from:", "Make/Model",
+		"Do you have any preferences?", "Check-out Date", "a(b(c)d)e",
+		"&amp;", "日本語ラベル", "\x00\x01\x02", "((((", "- - -",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, label string) {
+		display := NormalizeDisplay(label)
+		if NormalizeDisplay(display) != display {
+			t.Errorf("NormalizeDisplay not idempotent on %q", label)
+		}
+		words := ContentWords(label, nil)
+		for i, w := range words {
+			if w == "" || IsStopWord(w) {
+				t.Errorf("bad content word %q for %q", w, label)
+			}
+			if i > 0 && words[i-1] >= w {
+				t.Errorf("content words unsorted for %q: %v", label, words)
+			}
+		}
+		Tokenize(label)
+	})
+}

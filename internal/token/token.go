@@ -1,0 +1,251 @@
+// Package token implements the two-step label normalization of §3.1 of the
+// paper.
+//
+// Step one produces a display-oriented normal form used for plain string
+// comparison: attached comments are removed ("Adults (18-64)" becomes
+// "Adults") and every non-alphanumeric character is replaced by a space
+// ("Price $" becomes "Price").
+//
+// Step two produces the content-word set representation used by the
+// semantic rules of Definition 1: the label is tokenized, lower-cased,
+// tokens are stemmed with the Porter algorithm, reduced to a base form via
+// the lexicon, and stop words are removed. "Area of Study" becomes
+// {area, study}.
+package token
+
+import (
+	"strings"
+	"unicode"
+
+	"qilabel/internal/stem"
+)
+
+// stopWords is the stop-word list used by normalization step two. It covers
+// the function words that appear in query-interface labels ("Do you have any
+// preferences?" reduces to {prefer}).
+var stopWords = map[string]bool{
+	"a": true, "an": true, "the": true,
+	"of": true, "in": true, "on": true, "at": true, "to": true, "from": true,
+	"for": true, "with": true, "by": true, "per": true, "within": true,
+	"and": true, "or": true, "not": true, "no": true,
+	"do": true, "does": true, "did": true, "done": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"you": true, "your": true, "yours": true, "i": true, "we": true,
+	"have": true, "has": true, "had": true,
+	"any": true, "all": true, "some": true, "each": true, "every": true,
+	"what": true, "which": true, "who": true, "where": true, "when": true,
+	"how": true, "why": true,
+	"please": true, "select": true, "choose": true, "enter": true,
+	"want": true, "would": true, "like": true, "going": true, "go": true,
+	"e": true, "g": true, "etc": true, "optional": true,
+	"this": true, "that": true, "these": true, "those": true,
+	"it": true, "its": true, "as": true, "if": true, "my": true,
+	"many": true, "much": true, "there": true, "here": true,
+}
+
+// IsStopWord reports whether the lower-case word is on the normalization
+// stop-word list.
+func IsStopWord(w string) bool { return stopWords[strings.ToLower(w)] }
+
+// StripComment removes a trailing parenthesized, bracketed or braced comment
+// from a label: "Adults (18-64)" -> "Adults". Comments in the middle of the
+// label are removed as well ("Price ($) range" -> "Price  range"); unbalanced
+// openers drop the remainder of the label, matching how interface designers
+// use them.
+func StripComment(label string) string {
+	var b strings.Builder
+	depth := 0
+	for _, r := range label {
+		switch r {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			if depth > 0 {
+				depth--
+			}
+		default:
+			if depth == 0 {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// NormalizeDisplay performs normalization step one: comment removal,
+// replacement of non-alphanumeric runes by spaces, and whitespace
+// canonicalization. The result preserves the original letter case, since it
+// is the form used for plain string comparison and for display.
+//
+//	"Adults (18-64)" -> "Adults"
+//	"Price $"        -> "Price"
+//	"Departing from:" -> "Departing from"
+func NormalizeDisplay(label string) string {
+	s := StripComment(label)
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteRune(' ')
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// Tokenize splits a label into lower-case alphanumeric tokens after comment
+// removal. Digit-only tokens are kept (they matter for labels such as
+// "Price 2"), punctuation is discarded. A single hyphen directly joining
+// two alphanumeric runs fuses them into one token ("Check-out" becomes
+// "checkout", "e-mail" becomes "email"): hyphenated compounds are single
+// concepts, and splitting them would let the stop-word list mangle pairs
+// like check-in/check-out asymmetrically.
+func Tokenize(label string) []string {
+	s := strings.ToLower(StripComment(label))
+	isAlnum := func(r rune) bool {
+		return (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') ||
+			unicode.IsLetter(r) || unicode.IsDigit(r)
+	}
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case isAlnum(r):
+			cur.WriteRune(r)
+		case r == '-' && cur.Len() > 0 && i+1 < len(runes) && isAlnum(runes[i+1]):
+			// hyphenated compound: fuse, dropping the hyphen
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// BaseFormer resolves a token to its lexical base form ("children" ->
+// "child"). The lexicon package provides the production implementation; the
+// indirection keeps token free of a dependency cycle.
+type BaseFormer interface {
+	BaseForm(token string) string
+}
+
+// identityBase is used when no lexicon is supplied.
+type identityBase struct{}
+
+func (identityBase) BaseForm(tok string) string { return tok }
+
+// ContentWords performs normalization step two and returns the set of
+// content words of the label: tokens are lower-cased, reduced to a lexical
+// base form, stop words are removed, and each survivor is Porter-stemmed.
+// The result is sorted and duplicate-free so that two labels can be compared
+// as sets. A nil BaseFormer skips lemmatization.
+//
+//	ContentWords("Area of Study", lex)              = {area, studi}
+//	ContentWords("Do you have any preferences?", l) = {prefer}
+func ContentWords(label string, base BaseFormer) []string {
+	if base == nil {
+		base = identityBase{}
+	}
+	seen := make(map[string]bool)
+	var words []string
+	for _, tok := range Tokenize(label) {
+		if stopWords[tok] {
+			continue
+		}
+		w := base.BaseForm(tok)
+		if stopWords[w] {
+			continue
+		}
+		w = stem.Stem(w)
+		// Stemming can expose a stop word ("aing" stems to "a"); drop it.
+		if w == "" || stopWords[w] || seen[w] {
+			continue
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	sortStrings(words)
+	return words
+}
+
+// RawContentWords is like ContentWords but keeps the (lemmatized) word form
+// without Porter stemming. The lexicon's synonymy and hypernymy relations
+// are declared over base forms, so Definition 1 consults both
+// representations: stems for equality, base forms for WordNet-style
+// relations.
+func RawContentWords(label string, base BaseFormer) []string {
+	if base == nil {
+		base = identityBase{}
+	}
+	seen := make(map[string]bool)
+	var words []string
+	for _, tok := range Tokenize(label) {
+		if stopWords[tok] {
+			continue
+		}
+		w := base.BaseForm(tok)
+		if stopWords[w] || w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	sortStrings(words)
+	return words
+}
+
+// EqualFold reports whether two labels are identical after display
+// normalization, ignoring case. This is the "string equal" relation of
+// Definition 1 as applied throughout §4 (plain string comparison).
+func EqualFold(a, b string) bool {
+	return strings.EqualFold(NormalizeDisplay(a), NormalizeDisplay(b))
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: content-word sets are tiny (1-6 words).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SameSet reports whether two sorted string slices contain the same
+// elements.
+func SameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every element of a (sorted) occurs in b (sorted).
+func Subset(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}

@@ -1,0 +1,232 @@
+package token
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStripComment(t *testing.T) {
+	cases := map[string]string{
+		"Adults (18-64)":        "Adults ",
+		"Price [USD]":           "Price ",
+		"Plain":                 "Plain",
+		"(all) of it":           " of it",
+		"nested (a (b) c) tail": "nested  tail",
+		"unbalanced (rest gone": "unbalanced ",
+		"stray) paren":          "stray paren",
+	}
+	for in, want := range cases {
+		if got := StripComment(in); got != want {
+			t.Errorf("StripComment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeDisplay(t *testing.T) {
+	cases := map[string]string{
+		"Adults (18-64)":       "Adults",
+		"Price $":              "Price",
+		"Departing from:":      "Departing from",
+		"Make/Model":           "Make Model",
+		"  Going   to  ":       "Going to",
+		"Max. Number of Stops": "Max Number of Stops",
+		"":                     "",
+		"$$$":                  "",
+	}
+	for in, want := range cases {
+		if got := NormalizeDisplay(in); got != want {
+			t.Errorf("NormalizeDisplay(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Area of Study", []string{"area", "of", "study"}},
+		{"Adults (18-64)", []string{"adults"}},
+		{"Make/Model", []string{"make", "model"}},
+		{"Zip Code", []string{"zip", "code"}},
+		{"", nil},
+		{"Price  2", []string{"price", "2"}},
+		{"Do you have any preferences?", []string{"do", "you", "have", "any", "preferences"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+type testBase map[string]string
+
+func (b testBase) BaseForm(tok string) string {
+	if v, ok := b[tok]; ok {
+		return v
+	}
+	return tok
+}
+
+func TestContentWords(t *testing.T) {
+	base := testBase{"children": "child", "preferences": "preference"}
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Area of Study", []string{"area", "studi"}},
+		{"Type of Job", []string{"job", "type"}},
+		{"Job Type", []string{"job", "type"}},
+		{"Do you have any preferences?", []string{"prefer"}},
+		{"Children", []string{"child"}},
+		{"Airline Preference", []string{"airlin", "prefer"}},
+		{"Preferred Airline", []string{"airlin", "prefer"}},
+		{"", nil},
+		{"of the and", nil},
+	}
+	for _, c := range cases {
+		if got := ContentWords(c.in, base); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ContentWords(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// The paper's headline example: "Type of Job" equal "Job Type" and
+// "Preferred Airline" equal "Airline Preference" must share content-word
+// sets.
+func TestContentWordsEquality(t *testing.T) {
+	pairs := [][2]string{
+		{"Type of Job", "Job Type"},
+		{"Preferred Airline", "Airline Preference"},
+		{"Class of Ticket", "Ticket Class"},
+		{"Number of Connections", "Connections Number"},
+	}
+	for _, p := range pairs {
+		a, b := ContentWords(p[0], nil), ContentWords(p[1], nil)
+		if !SameSet(a, b) {
+			t.Errorf("content words of %q (%v) and %q (%v) should match",
+				p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestRawContentWords(t *testing.T) {
+	base := testBase{"preferences": "preference"}
+	got := RawContentWords("Airline Preferences", base)
+	want := []string{"airline", "preference"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RawContentWords = %v, want %v", got, want)
+	}
+}
+
+func TestEqualFold(t *testing.T) {
+	if !EqualFold("From", "from") {
+		t.Error("EqualFold should ignore case")
+	}
+	if !EqualFold("Adults (18-64)", "adults") {
+		t.Error("EqualFold should normalize comments")
+	}
+	if EqualFold("From", "To") {
+		t.Error("From should not equal To")
+	}
+}
+
+func TestSubsetAndSameSet(t *testing.T) {
+	if !Subset([]string{"a", "c"}, []string{"a", "b", "c"}) {
+		t.Error("subset failed")
+	}
+	if Subset([]string{"a", "d"}, []string{"a", "b", "c"}) {
+		t.Error("non-subset accepted")
+	}
+	if !Subset(nil, []string{"a"}) {
+		t.Error("empty set is a subset of everything")
+	}
+	if !SameSet([]string{"x", "y"}, []string{"x", "y"}) || SameSet([]string{"x"}, []string{"y"}) {
+		t.Error("SameSet misbehaves")
+	}
+}
+
+// Property: NormalizeDisplay is idempotent.
+func TestNormalizeDisplayIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := NormalizeDisplay(s)
+		return NormalizeDisplay(n) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ContentWords output is sorted, duplicate-free, and free of stop
+// words.
+func TestContentWordsInvariants(t *testing.T) {
+	f := func(s string) bool {
+		words := ContentWords(s, nil)
+		for i, w := range words {
+			if w == "" || IsStopWord(w) {
+				return false
+			}
+			if i > 0 && words[i-1] >= w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tokenize never returns empty tokens, and the tokens appear in
+// order in the lower-cased, hyphen-fused input (hyphenated compounds merge
+// into one token, so matching happens on the hyphen-free text).
+func TestTokenizeInvariants(t *testing.T) {
+	f := func(s string) bool {
+		low := strings.ReplaceAll(strings.ToLower(StripComment(s)), "-", "")
+		pos := 0
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			idx := strings.Index(low[pos:], tok)
+			if idx < 0 {
+				return false
+			}
+			pos += idx + len(tok)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeHyphenCompounds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Check-out Date", []string{"checkout", "date"}},
+		{"Check-in", []string{"checkin"}},
+		{"Pick-up City", []string{"pickup", "city"}},
+		{"e-mail", []string{"email"}},
+		{"- leading", []string{"leading"}},
+		{"trailing- x", []string{"trailing", "x"}},
+		{"a - b", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkContentWords(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ContentWords("What are your service preferences?", nil)
+	}
+}

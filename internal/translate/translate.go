@@ -1,0 +1,185 @@
+// Package translate implements the step the paper's system overview places
+// after labeling (§1: "a global query submitted against the integrated
+// user interface is translated into subqueries against individual
+// sources" [5, 13, 27]): given values filled into the integrated
+// interface, produce the per-source field assignments each site can
+// execute.
+//
+// Translation walks the cluster mapping backwards:
+//
+//   - a source field in the cluster receives the global value directly;
+//   - a source field with a predefined domain receives the closest
+//     matching instance (case-insensitive; a failed match is reported as
+//     approximate);
+//   - a source field that was a 1:m aggregate ("Passengers" standing for
+//     adults/seniors/children/infants) receives the aggregation of its
+//     parts — the numeric sum when all parts are numeric, the joined
+//     values otherwise;
+//   - clusters the source has no field for are reported as unsupported,
+//     so the caller can post-filter the source's results.
+package translate
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"qilabel/internal/merge"
+	"qilabel/internal/schema"
+)
+
+// Query assigns values to integrated fields, keyed by cluster name.
+type Query map[string]string
+
+// Assignment is one source field filled with a translated value.
+type Assignment struct {
+	// Label is the source field's label ("" for unlabeled fields).
+	Label string
+	// Clusters are the integrated fields this assignment covers (several
+	// for a 1:m aggregate).
+	Clusters []string
+	// Value is the value to fill in.
+	Value string
+	// Approximate marks a value that had to be coerced onto the source
+	// field's predefined domain without an exact match.
+	Approximate bool
+}
+
+// SubQuery is the translation of a global query for one source interface.
+type SubQuery struct {
+	// Interface is the source interface name.
+	Interface string
+	// Assignments are the source fields to fill, in interface order.
+	Assignments []Assignment
+	// Unsupported lists the queried clusters this source cannot express;
+	// its results must be post-filtered on these conditions.
+	Unsupported []string
+}
+
+// Covered reports the fraction of queried clusters the source expresses.
+func (s SubQuery) Covered(q Query) float64 {
+	if len(q) == 0 {
+		return 1
+	}
+	return float64(len(q)-len(s.Unsupported)) / float64(len(q))
+}
+
+// Translate maps a global query onto every source interface of an
+// integration result. Sources contributing no queried cluster yield a
+// SubQuery with no assignments and every cluster unsupported.
+func Translate(mr *merge.Result, q Query) []SubQuery {
+	var out []SubQuery
+	for _, src := range mr.Sources {
+		out = append(out, translateOne(mr, src, q))
+	}
+	return out
+}
+
+func translateOne(mr *merge.Result, src *schema.Tree, q Query) SubQuery {
+	sub := SubQuery{Interface: src.Interface}
+	covered := make(map[string]bool, len(q))
+	aggDone := make(map[*schema.Node]bool)
+
+	for _, leaf := range src.Leaves() {
+		if leaf.Cluster == "" {
+			continue
+		}
+		parent := src.Root.Parent(leaf)
+		if parent != nil && parent.Aggregated {
+			if aggDone[parent] {
+				continue
+			}
+			aggDone[parent] = true
+			if a, ok := aggregate(parent, q); ok {
+				sub.Assignments = append(sub.Assignments, a)
+				for _, c := range a.Clusters {
+					covered[c] = true
+				}
+			}
+			continue
+		}
+		value, ok := q[leaf.Cluster]
+		if !ok {
+			continue
+		}
+		covered[leaf.Cluster] = true
+		sub.Assignments = append(sub.Assignments, coerce(leaf, value))
+	}
+
+	var missing []string
+	for c := range q {
+		if !covered[c] {
+			missing = append(missing, c)
+		}
+	}
+	sort.Strings(missing)
+	sub.Unsupported = missing
+	return sub
+}
+
+// aggregate folds the queried values of an expanded 1:m node back into the
+// single source field: numeric values sum (2 adults + 1 senior -> 3
+// passengers), anything else joins with commas.
+func aggregate(parent *schema.Node, q Query) (Assignment, bool) {
+	var clusters []string
+	var values []string
+	numeric := true
+	sum := 0
+	for _, child := range parent.Children {
+		if child.Cluster == "" {
+			continue
+		}
+		v, ok := q[child.Cluster]
+		if !ok {
+			continue
+		}
+		clusters = append(clusters, child.Cluster)
+		values = append(values, v)
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+			sum += n
+		} else {
+			numeric = false
+		}
+	}
+	if len(clusters) == 0 {
+		return Assignment{}, false
+	}
+	a := Assignment{Label: parent.Label, Clusters: clusters}
+	if numeric {
+		a.Value = strconv.Itoa(sum)
+	} else {
+		a.Value = strings.Join(values, ", ")
+	}
+	return a, true
+}
+
+// coerce fits a value onto a field, snapping to the predefined domain when
+// one exists.
+func coerce(leaf *schema.Node, value string) Assignment {
+	a := Assignment{Label: leaf.Label, Clusters: []string{leaf.Cluster}, Value: value}
+	if len(leaf.Instances) == 0 {
+		return a
+	}
+	want := strings.ToLower(strings.TrimSpace(value))
+	for _, inst := range leaf.Instances {
+		if strings.ToLower(strings.TrimSpace(inst)) == want {
+			a.Value = inst
+			return a
+		}
+	}
+	// No exact instance: try a unique prefix/containment match.
+	var candidates []string
+	for _, inst := range leaf.Instances {
+		low := strings.ToLower(inst)
+		if strings.HasPrefix(low, want) || strings.Contains(low, want) {
+			candidates = append(candidates, inst)
+		}
+	}
+	if len(candidates) == 1 {
+		a.Value = candidates[0]
+		a.Approximate = true
+		return a
+	}
+	a.Approximate = true
+	return a
+}

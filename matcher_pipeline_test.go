@@ -1,0 +1,63 @@
+package qilabel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMatcherPipelineAllDomains runs the fully automatic pipeline —
+// matcher-derived clusters instead of ground truth — over every built-in
+// corpus. The matcher is noisy, so no accuracy band is asserted; the
+// pipeline must simply hold up: no errors, a valid labeled tree, label
+// provenance intact, and most fields labeled.
+func TestMatcherPipelineAllDomains(t *testing.T) {
+	for _, name := range BuiltinDomains() {
+		sources, err := BuiltinDomain(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Integrate(sources, WithMatcher())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Tree.Validate(); err != nil {
+			t.Fatalf("%s: invalid integrated tree: %v", name, err)
+		}
+		leaves := res.Tree.Leaves()
+		if len(leaves) == 0 {
+			t.Fatalf("%s: empty integrated interface", name)
+		}
+		sourceLabels := map[string]bool{}
+		for _, s := range sources {
+			s.Root.Walk(func(n *Node) bool {
+				if l := strings.TrimSpace(n.Label); l != "" {
+					sourceLabels[l] = true
+				}
+				return true
+			})
+		}
+		// Matcher clusters over a 60-90% labeled corpus include many
+		// singleton clusters of unlabeled fields, which are unlabelable by
+		// construction; judge only the fields whose cluster carries at
+		// least one source label.
+		labelable, labeled := 0, 0
+		for _, c := range res.Merge.Mapping.Clusters {
+			leaf := res.Merge.LeafOf[c.Name]
+			if leaf == nil || len(c.Labels()) == 0 {
+				continue
+			}
+			labelable++
+			if leaf.Label == "" {
+				continue
+			}
+			labeled++
+			if !sourceLabels[leaf.Label] {
+				t.Errorf("%s: fabricated label %q", name, leaf.Label)
+			}
+		}
+		if labelable == 0 || float64(labeled)/float64(labelable) < 0.9 {
+			t.Errorf("%s: only %d/%d labelable matcher-pipeline fields labeled",
+				name, labeled, labelable)
+		}
+	}
+}

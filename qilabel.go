@@ -1,0 +1,310 @@
+package qilabel
+
+import (
+	"errors"
+	"fmt"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/dataset"
+	"qilabel/internal/extract"
+	"qilabel/internal/lexicon"
+	"qilabel/internal/match"
+	"qilabel/internal/merge"
+	"qilabel/internal/metrics"
+	"qilabel/internal/naming"
+	"qilabel/internal/render"
+	"qilabel/internal/schema"
+	"qilabel/internal/translate"
+)
+
+// Tree is the ordered schema tree of one query interface. Leaves are
+// fields, internal nodes are (super)groups; see the schema package for the
+// full API (construction helpers, traversals, JSON encoding).
+type Tree = schema.Tree
+
+// Node is a node of a schema tree.
+type Node = schema.Node
+
+// Lexicon is the lexical knowledge base consulted for synonymy and
+// hypernymy (the WordNet substitute).
+type Lexicon = lexicon.Lexicon
+
+// Class is the Definition 8 classification of a labeled integrated
+// interface.
+type Class = naming.Class
+
+// Classification values.
+const (
+	Consistent       = naming.ClassConsistent
+	WeaklyConsistent = naming.ClassWeaklyConsistent
+	Inconsistent     = naming.ClassInconsistent
+)
+
+// NewField constructs a field (leaf) node.
+func NewField(label, cluster string, instances ...string) *Node {
+	return schema.NewField(label, cluster, instances...)
+}
+
+// NewMultiField constructs a field participating in a 1:m correspondence
+// (one source field standing for several integrated fields, like the
+// "Passengers" example of the paper).
+func NewMultiField(label string, clusters ...string) *Node {
+	return schema.NewMultiField(label, clusters...)
+}
+
+// NewGroup constructs an internal (group) node.
+func NewGroup(label string, children ...*Node) *Node {
+	return schema.NewGroup(label, children...)
+}
+
+// NewTree constructs the schema tree of the named interface.
+func NewTree(iface string, rootChildren ...*Node) *Tree {
+	return schema.NewTree(iface, rootChildren...)
+}
+
+// NewLexicon returns an empty lexical knowledge base to extend and pass
+// via WithLexicon.
+func NewLexicon() *Lexicon { return lexicon.New() }
+
+// DefaultLexicon returns the embedded knowledge base (shared, read-only).
+// Call Clone on it before extending it.
+func DefaultLexicon() *Lexicon { return lexicon.Default() }
+
+// DecodeLexicon parses a lexicon from its JSON form (synsets, hypernym
+// edges, irregular inflections, vocabulary; see Lexicon.EncodeJSON).
+func DecodeLexicon(data []byte) (*Lexicon, error) { return lexicon.DecodeJSON(data) }
+
+// Option configures Integrate.
+type Option func(*config)
+
+type config struct {
+	lexicon     *lexicon.Lexicon
+	useMatcher  bool
+	noInstances bool
+	maxLevel    naming.Level
+	minFreq     int
+}
+
+// WithLexicon supplies a custom lexical knowledge base.
+func WithLexicon(l *Lexicon) Option { return func(c *config) { c.lexicon = l } }
+
+// WithMatcher recomputes the field clusters from labels and instances
+// instead of trusting the sources' cluster annotations.
+func WithMatcher() Option { return func(c *config) { c.useMatcher = true } }
+
+// WithoutInstances disables the instance-based inference rules (LI 6 and
+// LI 7 of the paper).
+func WithoutInstances() Option { return func(c *config) { c.noInstances = true } }
+
+// WithMaxLevel caps the consistency levels the group solver tries:
+// 1 = plain string equality only, 2 = +content-word equality,
+// 3 = +synonymy (the default). Used for ablation studies.
+func WithMaxLevel(level int) Option {
+	return func(c *config) { c.maxLevel = naming.Level(level) }
+}
+
+// WithMinFrequency drops fields appearing on fewer than n source
+// interfaces from the integrated interface before labeling. The paper's
+// survey found that every field users flagged as confusing had source
+// frequency 1 ("too specific to be included in the global interface");
+// pruning them implements the improvement §7 proposes.
+func WithMinFrequency(n int) Option {
+	return func(c *config) { c.minFreq = n }
+}
+
+// Result is the outcome of integrating and labeling a set of interfaces.
+type Result struct {
+	// Tree is the labeled integrated schema tree.
+	Tree *Tree
+	// Class is the Definition 8 classification.
+	Class Class
+	// Labels maps every cluster name to the label its integrated field
+	// received ("" when the algorithm could not assign one).
+	Labels map[string]string
+
+	// Merge exposes the structural integration (groups, isolated
+	// clusters, per-cluster leaves).
+	Merge *merge.Result
+	// Naming exposes the full naming report (group solutions, candidate
+	// labels per internal node, inference-rule counters).
+	Naming *naming.Result
+}
+
+// Integrate matches (if requested), merges and labels the given source
+// interfaces, returning the labeled integrated interface. The sources are
+// deep-copied; the inputs are never modified.
+func Integrate(sources []*Tree, opts ...Option) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("qilabel: no source interfaces")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	trees := make([]*schema.Tree, len(sources))
+	for i, s := range sources {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("qilabel: source %d: %w", i, err)
+		}
+		trees[i] = s.Clone()
+	}
+
+	sem := naming.NewSemantics(cfg.lexicon)
+	cluster.ExpandOneToMany(trees)
+	if cfg.useMatcher {
+		// After expansion, so matcher-assigned clusters replace every
+		// annotation uniformly (including the expanded 1:m children).
+		match.Assign(trees, match.Options{Semantics: sem})
+	}
+	m, err := cluster.FromTrees(trees)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.minFreq > 1 {
+		m = pruneRareClusters(trees, m, cfg.minFreq)
+	}
+	if len(m.Clusters) == 0 {
+		return nil, errors.New("qilabel: no clusters; annotate the sources or use WithMatcher")
+	}
+	mr, err := merge.Merge(trees, m)
+	if err != nil {
+		return nil, err
+	}
+	nres, err := naming.Run(mr, naming.Options{
+		Lexicon:          cfg.lexicon,
+		MaxLevel:         cfg.maxLevel,
+		DisableInstances: cfg.noInstances,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Tree:   mr.Tree,
+		Class:  nres.Class,
+		Labels: make(map[string]string, len(m.Clusters)),
+		Merge:  mr,
+		Naming: nres,
+	}
+	for _, c := range m.Clusters {
+		if leaf := mr.LeafOf[c.Name]; leaf != nil {
+			res.Labels[c.Name] = leaf.Label
+		}
+	}
+	return res, nil
+}
+
+// pruneRareClusters rebuilds the mapping without the clusters appearing on
+// fewer than minFreq interfaces and clears their leaves' annotations so
+// the merge ignores those fields.
+func pruneRareClusters(trees []*schema.Tree, m *cluster.Mapping, minFreq int) *cluster.Mapping {
+	drop := make(map[string]bool)
+	var keep []*cluster.Cluster
+	for _, c := range m.Clusters {
+		if c.Frequency() < minFreq {
+			drop[c.Name] = true
+			continue
+		}
+		keep = append(keep, c)
+	}
+	if len(drop) == 0 {
+		return m
+	}
+	for _, t := range trees {
+		for _, leaf := range t.Leaves() {
+			if drop[leaf.Cluster] {
+				leaf.Cluster = ""
+			}
+		}
+	}
+	return cluster.NewMapping(keep...)
+}
+
+// Summary renders a human-readable synopsis: the classification, each
+// group's naming solution and each internal node's label.
+func (r *Result) Summary() string { return r.Naming.Summary() }
+
+// Explain renders the full provenance report: which interfaces supplied
+// each label, at which consistency level each group was solved, which
+// inference rule justified each internal-node title, and why any node
+// remained unlabeled.
+func (r *Result) Explain() string { return r.Naming.Explain() }
+
+// Verify re-checks the labeled tree's vertical-consistency invariants —
+// ancestor titles at least as general as descendants', no same-named
+// siblings — and returns the violations (empty on a sound labeling). The
+// algorithm's own output always verifies; the check exists for callers
+// that post-edit the tree.
+func (r *Result) Verify() []string {
+	return r.Naming.VerifyVertical(naming.NewSemantics(nil))
+}
+
+// HTML renders the labeled integrated interface as an HTML form: groups
+// become <fieldset>/<legend> blocks, fields with predefined instances
+// become <select> lists, free-text fields become <input> elements. An
+// empty title defaults to "Integrated Query Interface".
+func (r *Result) HTML(title string) string {
+	return render.HTML(r.Tree, render.Options{Title: title})
+}
+
+// Query assigns values to integrated fields, keyed by cluster name.
+type Query = translate.Query
+
+// SubQuery is a global query translated for one source interface: the
+// source fields to fill (1:m aggregates re-aggregated, values snapped to
+// predefined domains) and the queried clusters the source cannot express.
+type SubQuery = translate.SubQuery
+
+// Translate maps a query over the integrated interface onto every source
+// interface — the step the paper's system overview places after labeling.
+func (r *Result) Translate(q Query) []SubQuery {
+	return translate.Translate(r.Merge, q)
+}
+
+// Report computes the paper's evaluation metrics (FldAcc, IntAcc, HA,
+// HA′ and the Table 6 characteristics) for this result against the given
+// original sources.
+func (r *Result) Report(domain string, sources []*Tree) metrics.Report {
+	return metrics.Evaluate(domain, sources, r.Merge, r.Naming)
+}
+
+// BuiltinDomain generates the evaluation corpus of one of the paper's
+// seven domains: "Airline", "Auto", "Book", "Job", "Real Estate",
+// "Car Rental" or "Hotels" (case-insensitive, spaces optional).
+// Generation is deterministic.
+func BuiltinDomain(name string) ([]*Tree, error) {
+	d, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Generate(), nil
+}
+
+// BuiltinDomains lists the seven evaluation domain names in Table 6 order.
+func BuiltinDomains() []string {
+	var out []string
+	for _, d := range dataset.Domains() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// ExtractForms extracts one schema tree per <form> element of an HTML
+// page: fieldsets become groups titled by their legends, text-like inputs,
+// selects and textareas become fields (select options become instances),
+// labels come from <label> associations or the preceding text. The iface
+// argument names the interfaces when the forms carry no id/name.
+//
+// Extracted trees have no cluster annotations; integrate them with
+// WithMatcher.
+func ExtractForms(html []byte, iface string) []*Tree {
+	return extract.Forms(string(html), iface)
+}
+
+// EncodeTrees serializes interfaces to JSON (the cmd/labeler input
+// format); DecodeTrees parses and validates them.
+func EncodeTrees(trees []*Tree) ([]byte, error) { return schema.EncodeTrees(trees) }
+
+// DecodeTrees parses trees serialized by EncodeTrees and validates each.
+func DecodeTrees(data []byte) ([]*Tree, error) { return schema.DecodeTrees(data) }

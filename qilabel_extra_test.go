@@ -1,0 +1,152 @@
+package qilabel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithMinFrequency(t *testing.T) {
+	sources := []*Tree{
+		NewTree("a",
+			NewField("Adults", "c_Adult"),
+			NewField("Wyndham ByRequest No", "c_Wyndham"),
+		),
+		NewTree("b", NewField("Adults", "c_Adult")),
+		NewTree("c", NewField("Adult", "c_Adult")),
+	}
+	res, err := Integrate(sources, WithMinFrequency(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Labels["c_Wyndham"]; ok {
+		t.Error("frequency-1 field should have been pruned")
+	}
+	if res.Labels["c_Adult"] == "" {
+		t.Error("frequent field must survive pruning")
+	}
+	if len(res.Tree.Leaves()) != 1 {
+		t.Errorf("integrated tree has %d leaves, want 1", len(res.Tree.Leaves()))
+	}
+	// Without pruning the rare field stays.
+	res2, err := Integrate(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Labels["c_Wyndham"] != "Wyndham ByRequest No" {
+		t.Error("without pruning the rare field must be labeled")
+	}
+}
+
+func TestMinFrequencyImprovesHA(t *testing.T) {
+	sources, err := BuiltinDomain("Hotels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Integrate(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Integrate(sources, WithMinFrequency(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	haPlain := plain.Report("Hotels", sources).HA
+	haPruned := pruned.Report("Hotels", sources).HA
+	if haPruned < haPlain {
+		t.Errorf("pruning should not hurt HA: %.3f -> %.3f", haPlain, haPruned)
+	}
+}
+
+func TestResultHTML(t *testing.T) {
+	res, err := Integrate(sampleSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := res.HTML("Airline Search")
+	for _, want := range []string{
+		"<title>Airline Search</title>",
+		"<form>",
+		"Adults",
+		"</html>",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestDecodeLexiconAndClone(t *testing.T) {
+	extra, err := DecodeLexicon([]byte(`{"synsets": [["pax", "passenger"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex := DefaultLexicon().Clone()
+	lex.AddFrom(extra)
+	if !lex.Synonym("pax", "passenger") {
+		t.Error("decoded synset missing")
+	}
+	if !lex.Synonym("area", "field") {
+		t.Error("default entries missing from clone")
+	}
+	// The shared default must be untouched.
+	if DefaultLexicon().Synonym("pax", "passenger") {
+		t.Error("DefaultLexicon was mutated through the clone")
+	}
+	if _, err := DecodeLexicon([]byte("nope")); err == nil {
+		t.Error("invalid lexicon must fail")
+	}
+}
+
+// TestLabelProvenance asserts the central output invariant: every label of
+// the integrated interface originates from some source interface — the
+// algorithm selects labels, it never fabricates them.
+func TestLabelProvenance(t *testing.T) {
+	for _, name := range BuiltinDomains() {
+		sources, err := BuiltinDomain(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Collect every label (field and group) appearing on any source.
+		sourceLabels := map[string]bool{}
+		for _, s := range sources {
+			s.Root.Walk(func(n *Node) bool {
+				if l := strings.TrimSpace(n.Label); l != "" {
+					sourceLabels[l] = true
+				}
+				return true
+			})
+		}
+		res, err := Integrate(sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Tree.Root.Walk(func(n *Node) bool {
+			if l := strings.TrimSpace(n.Label); l != "" && !sourceLabels[l] {
+				t.Errorf("%s: label %q does not originate from any source", name, l)
+			}
+			return true
+		})
+	}
+}
+
+// TestIntegrateDeterministic: the same sources always produce the same
+// labeled tree.
+func TestIntegrateDeterministic(t *testing.T) {
+	sources, err := BuiltinDomain("Auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Integrate(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Integrate(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := EncodeTrees([]*Tree{a.Tree})
+	eb, _ := EncodeTrees([]*Tree{b.Tree})
+	if string(ea) != string(eb) {
+		t.Error("Integrate is not deterministic")
+	}
+}

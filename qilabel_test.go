@@ -1,0 +1,167 @@
+package qilabel
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSources() []*Tree {
+	return []*Tree{
+		NewTree("aa",
+			NewGroup("Passengers",
+				NewField("Adults", "c_Adult"),
+				NewField("Children", "c_Child"),
+			),
+			NewField("Promo Code", "c_Promo"),
+		),
+		NewTree("british",
+			NewGroup("How many people are going?",
+				NewField("Seniors", "c_Senior"),
+				NewField("Adults", "c_Adult"),
+				NewField("Children", "c_Child"),
+			),
+			NewField("Promo Code", "c_Promo"),
+		),
+		NewTree("vacations",
+			NewMultiField("Passengers", "c_Senior", "c_Adult", "c_Child"),
+			NewField("Promo Code", "c_Promo"),
+		),
+	}
+}
+
+func TestIntegrateQuickstart(t *testing.T) {
+	res, err := Integrate(sampleSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class == Inconsistent {
+		t.Errorf("classification = %v\n%s", res.Class, res.Summary())
+	}
+	want := map[string]string{
+		"c_Senior": "Seniors",
+		"c_Adult":  "Adults",
+		"c_Child":  "Children",
+		"c_Promo":  "Promo Code",
+	}
+	for cl, label := range want {
+		if res.Labels[cl] != label {
+			t.Errorf("label[%s] = %q, want %q", cl, res.Labels[cl], label)
+		}
+	}
+	if !strings.Contains(res.Tree.String(), "Adults") {
+		t.Error("rendered tree should show the labels")
+	}
+	if !strings.Contains(res.Summary(), "classification:") {
+		t.Error("summary should include the classification")
+	}
+}
+
+func TestIntegrateDoesNotMutateSources(t *testing.T) {
+	src := sampleSources()
+	before, err := EncodeTrees(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Integrate(src); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := EncodeTrees(src)
+	if string(before) != string(after) {
+		t.Error("Integrate must not modify its inputs")
+	}
+}
+
+func TestIntegrateWithMatcher(t *testing.T) {
+	// No cluster annotations at all: the matcher derives them.
+	sources := []*Tree{
+		NewTree("a",
+			NewField("Job Type", ""),
+			NewField("City", ""),
+		),
+		NewTree("b",
+			NewField("Type of Job", ""),
+			NewField("Town", ""),
+		),
+	}
+	res, err := Integrate(sources, WithMatcher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := res.Tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("got %d integrated fields, want 2", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.Label == "" {
+			t.Errorf("field %s unlabeled", l.Cluster)
+		}
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	if _, err := Integrate(nil); err == nil {
+		t.Error("no sources must fail")
+	}
+	bad := &Tree{Interface: "x"}
+	if _, err := Integrate([]*Tree{bad}); err == nil {
+		t.Error("invalid source must fail")
+	}
+	noClusters := []*Tree{NewTree("a", NewField("F", ""))}
+	if _, err := Integrate(noClusters); err == nil {
+		t.Error("unannotated sources without the matcher must fail")
+	}
+}
+
+func TestIntegrateOptions(t *testing.T) {
+	src := sampleSources()
+	if _, err := Integrate(src, WithMaxLevel(1), WithoutInstances()); err != nil {
+		t.Fatal(err)
+	}
+	lex := NewLexicon()
+	lex.AddSynonyms("promo", "discount")
+	if _, err := Integrate(src, WithLexicon(lex)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinDomains(t *testing.T) {
+	names := BuiltinDomains()
+	if len(names) != 7 {
+		t.Fatalf("got %d domains, want 7", len(names))
+	}
+	for _, n := range names {
+		trees, err := BuiltinDomain(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Integrate(trees)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		rep := res.Report(n, trees)
+		if rep.FldAcc < 0.9 {
+			t.Errorf("%s: FldAcc %.2f", n, rep.FldAcc)
+		}
+	}
+	if _, err := BuiltinDomain("nope"); err == nil {
+		t.Error("unknown domain must fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	src := sampleSources()
+	data, err := EncodeTrees(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTrees(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(src) {
+		t.Fatal("round trip lost trees")
+	}
+	if _, err := Integrate(back); err != nil {
+		t.Fatal(err)
+	}
+}

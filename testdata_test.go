@@ -1,0 +1,48 @@
+package qilabel
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSampleInputFile keeps the shipped sample input (the README's CLI
+// walk-through) working: it must decode, integrate consistently, and
+// exercise a 1:m correspondence.
+func TestSampleInputFile(t *testing.T) {
+	data, err := os.ReadFile("testdata/airline-sample.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources, err := DecodeTrees(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 3 {
+		t.Fatalf("sample has %d interfaces, want 3", len(sources))
+	}
+	res, err := Integrate(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class == Inconsistent {
+		t.Errorf("sample should integrate cleanly, got %v\n%s", res.Class, res.Summary())
+	}
+	want := map[string]string{
+		"c_Senior": "Seniors",
+		"c_Adult":  "Adults",
+		"c_Child":  "Children",
+	}
+	for cl, label := range want {
+		if res.Labels[cl] != label {
+			t.Errorf("label[%s] = %q, want %q", cl, res.Labels[cl], label)
+		}
+	}
+	if v := res.Verify(); len(v) != 0 {
+		t.Errorf("verification failed: %v", v)
+	}
+	// The subqueries for a sample query reach every source.
+	subs := res.Translate(Query{"c_Adult": "2", "c_Class": "economy"})
+	if len(subs) != 3 {
+		t.Fatalf("got %d subqueries", len(subs))
+	}
+}
