@@ -2,7 +2,7 @@
 // and naming — over query interfaces described in a JSON file, and prints
 // the labeled integrated interface.
 //
-//	labeler [-match] [-no-instances] [-max-level N] [-summary] file.json
+//	labeler [-match] [-no-instances] [-max-level N] [-summary] [-timeout 30s] [-strict] file.json
 //	labeler -domain Airline [-summary]
 //
 // The JSON format is an array of schema trees (see qilabel.EncodeTrees):
@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"qilabel"
 )
@@ -42,6 +43,8 @@ func main() {
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
 	fromHTML := flag.Bool("from-html", false, "treat the arguments as HTML pages; extract one interface per <form> (implies -match)")
 	domain := flag.String("domain", "", "use a built-in evaluation domain (Airline, Auto, Book, Job, Real Estate, Car Rental, Hotels)")
+	timeout := flag.Duration("timeout", 0, "abort if the pipeline runs longer than this (0 = no limit)")
+	strict := flag.Bool("strict", false, "exit non-zero when the classification is inconsistent, so scripts can gate on labeling quality")
 	flag.Parse()
 
 	var sources []*qilabel.Tree
@@ -107,7 +110,7 @@ func main() {
 		opts = append(opts, qilabel.WithLexicon(lex))
 	}
 
-	res, err := qilabel.Integrate(sources, opts...)
+	res, err := integrate(sources, opts, *timeout)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,6 +133,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *htmlOut)
+	}
+	if *strict && res.Class == qilabel.Inconsistent {
+		fmt.Fprintln(os.Stderr, "labeler: inconsistent classification (-strict)")
+		os.Exit(3)
+	}
+}
+
+// integrate runs the pipeline, optionally bounded by a wall-clock
+// timeout (the computation is abandoned on expiry).
+func integrate(sources []*qilabel.Tree, opts []qilabel.Option, timeout time.Duration) (*qilabel.Result, error) {
+	if timeout <= 0 {
+		return qilabel.Integrate(sources, opts...)
+	}
+	type outcome struct {
+		res *qilabel.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := qilabel.Integrate(sources, opts...)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("pipeline exceeded the %s timeout", timeout)
 	}
 }
 

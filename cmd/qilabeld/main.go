@@ -1,0 +1,89 @@
+// Command qilabeld serves the labeling pipeline as a long-running
+// HTTP/JSON daemon (see internal/server for the endpoint reference):
+//
+//	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s]
+//	         [-cache 128] [-max-body 8388608] [-lexicon extra.json]
+//
+// The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
+// for up to -drain-timeout before closing the listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qilabel"
+	"qilabel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent pipeline computations (0 = 2×GOMAXPROCS); excess requests get 503")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
+	cacheSize := flag.Int("cache", 128, "integration-result LRU capacity in entries (negative disables)")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxInflight:    *maxInflight,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+	}
+	if *lexFile != "" {
+		data, err := os.ReadFile(*lexFile)
+		if err != nil {
+			log.Fatalf("qilabeld: %v", err)
+		}
+		extra, err := qilabel.DecodeLexicon(data)
+		if err != nil {
+			log.Fatalf("qilabeld: %v", err)
+		}
+		lex := qilabel.DefaultLexicon().Clone()
+		lex.AddFrom(extra)
+		cfg.Lexicon = lex
+	}
+
+	srv := server.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("qilabeld: listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("qilabeld: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("qilabeld: shutting down, draining in-flight requests (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("qilabeld: forced shutdown: %v", err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("qilabeld: %v", err)
+	}
+	fmt.Println("qilabeld: bye")
+}

@@ -1,0 +1,129 @@
+// Server: a client session against the qilabeld HTTP service. The example
+// starts the service in-process on a loopback listener (exactly what
+// cmd/qilabeld serves) and walks the live-pipeline loop of the paper's
+// system overview over HTTP: list the builtin corpora, integrate the
+// Airline domain (cold), integrate it again (warm — a pure cache hit that
+// skips match/merge/naming), translate a global query against the cached
+// integration, and read the runtime metrics.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"qilabel/internal/server"
+)
+
+func main() {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	fmt.Printf("qilabeld serving on %s\n\n", ts.URL)
+
+	// 1. Which corpora does the service know?
+	var domains struct {
+		Domains []struct {
+			Name       string `json:"name"`
+			Interfaces int    `json:"interfaces"`
+		} `json:"domains"`
+	}
+	get(ts.URL+"/v1/domains", &domains)
+	fmt.Println("builtin domains:")
+	for _, d := range domains.Domains {
+		fmt.Printf("  %-12s %d interfaces\n", d.Name, d.Interfaces)
+	}
+
+	// 2. Integrate the Airline corpus — the cold path runs the whole
+	// match/merge/naming pipeline.
+	var cold struct {
+		Key    string            `json:"key"`
+		Cached bool              `json:"cached"`
+		Class  string            `json:"class"`
+		Labels map[string]string `json:"labels"`
+	}
+	post(ts.URL+"/v1/integrate", map[string]any{"domain": "Airline"}, &cold)
+	fmt.Printf("\ncold integrate: class=%s cached=%v key=%s…\n",
+		cold.Class, cold.Cached, cold.Key[:12])
+
+	// 3. The same request again — served from the LRU cache.
+	var warm struct {
+		Cached bool `json:"cached"`
+	}
+	post(ts.URL+"/v1/integrate", map[string]any{"domain": "Airline"}, &warm)
+	fmt.Printf("warm integrate: cached=%v\n", warm.Cached)
+
+	// 4. Translate a global query against the cached integration.
+	var trans struct {
+		SubQueries []struct {
+			Interface   string `json:"interface"`
+			Assignments []struct {
+				Label string `json:"label"`
+				Value string `json:"value"`
+			} `json:"assignments"`
+			Unsupported []string `json:"unsupported"`
+		} `json:"subQueries"`
+	}
+	post(ts.URL+"/v1/translate", map[string]any{
+		"key":   cold.Key,
+		"query": map[string]string{"c_From": "Chicago", "c_To": "Seoul"},
+	}, &trans)
+	fmt.Printf("\ntranslated query over %d sources; first three:\n", len(trans.SubQueries))
+	for _, sub := range trans.SubQueries[:3] {
+		fmt.Printf("  %s:", sub.Interface)
+		for _, a := range sub.Assignments {
+			fmt.Printf(" %s=%q", a.Label, a.Value)
+		}
+		if len(sub.Unsupported) > 0 {
+			fmt.Printf(" (post-filter: %v)", sub.Unsupported)
+		}
+		fmt.Println()
+	}
+
+	// 5. Runtime metrics: counts, latency percentiles, cache hit/miss,
+	// aggregated inference-rule firings.
+	var metrics struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		Naming map[string]int `json:"naming"`
+	}
+	get(ts.URL+"/metrics", &metrics)
+	fmt.Printf("\nmetrics: cache hits=%d misses=%d, inference-rule firings=%d\n",
+		metrics.Cache.Hits, metrics.Cache.Misses, metrics.Naming["total"])
+}
+
+func get(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, v)
+}
+
+func post(url string, body, v any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, v)
+}
+
+func decode(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s", resp.Request.URL, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

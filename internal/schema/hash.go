@@ -1,0 +1,79 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+)
+
+// CanonicalHash returns a hex-encoded digest of the tree's canonical
+// form. Two trees hash equal exactly when they are structurally identical:
+// same interface name, same node labels, clusters, multi-clusters,
+// instances (in order — selection lists are ordered), aggregation marks
+// and child order. The digest is stable across processes and releases of
+// the encoding (every field is length-prefixed, so no two distinct trees
+// collide by concatenation).
+func (t *Tree) CanonicalHash() string {
+	h := sha256.New()
+	writeString(h, t.Interface)
+	writeNode(h, t.Root)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashTrees returns a digest identifying the *set* of trees independent of
+// their order in the slice: per-tree canonical digests are sorted before
+// combining. Integrating the same source pool listed in a different order
+// therefore yields the same hash — the property the server's result cache
+// keys on.
+func HashTrees(trees []*Tree) string {
+	digests := make([]string, len(trees))
+	for i, t := range trees {
+		digests[i] = t.CanonicalHash()
+	}
+	sort.Strings(digests)
+	h := sha256.New()
+	for _, d := range digests {
+		writeString(h, d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeNode(h hash.Hash, n *Node) {
+	if n == nil {
+		writeUint(h, ^uint32(0))
+		return
+	}
+	writeString(h, n.Label)
+	writeString(h, n.Cluster)
+	writeStrings(h, n.Instances)
+	writeStrings(h, n.MultiClusters)
+	if n.Aggregated {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	writeUint(h, uint32(len(n.Children)))
+	for _, c := range n.Children {
+		writeNode(h, c)
+	}
+}
+
+func writeStrings(h hash.Hash, ss []string) {
+	writeUint(h, uint32(len(ss)))
+	for _, s := range ss {
+		writeString(h, s)
+	}
+}
+
+func writeString(h hash.Hash, s string) {
+	writeUint(h, uint32(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeUint(h hash.Hash, v uint32) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	h.Write(buf[:])
+}

@@ -219,7 +219,7 @@ func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
-	c := &Node{Label: n.Label, Cluster: n.Cluster}
+	c := &Node{Label: n.Label, Cluster: n.Cluster, Aggregated: n.Aggregated}
 	if n.Instances != nil {
 		c.Instances = append([]string(nil), n.Instances...)
 	}

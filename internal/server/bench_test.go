@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchRequest is the Airline-domain integrate request reused by both
+// benchmarks; the domain resolves to the paper's 20-interface corpus, so
+// the cold path exercises the full match/merge/naming pipeline.
+func benchRequest(b *testing.B) *bytes.Reader {
+	b.Helper()
+	data, err := json.Marshal(integrateRequest{Domain: "Airline"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+func benchServe(b *testing.B, s *Server, body *bytes.Reader) {
+	b.Helper()
+	if _, err := body.Seek(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/integrate", body)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServerIntegrateCold measures the uncached path: the cache is
+// purged every iteration, so each request runs the whole pipeline.
+func BenchmarkServerIntegrateCold(b *testing.B) {
+	s := New(Config{})
+	body := benchRequest(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.cache.Purge()
+		b.StartTimer()
+		benchServe(b, s, body)
+	}
+}
+
+// BenchmarkServerIntegrateWarm measures the cached path: after one
+// priming request every iteration is a pure LRU hit that bypasses
+// match/merge/naming.
+func BenchmarkServerIntegrateWarm(b *testing.B) {
+	s := New(Config{})
+	body := benchRequest(b)
+	benchServe(b, s, body) // prime
+	if s.cache.Len() != 1 {
+		b.Fatal("priming request did not populate the cache")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServe(b, s, body)
+	}
+	if s.metrics.cacheHits.Load() != int64(b.N) {
+		b.Fatalf("warm iterations were not all cache hits: %d/%d",
+			s.metrics.cacheHits.Load(), b.N)
+	}
+}

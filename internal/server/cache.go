@@ -1,0 +1,83 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"qilabel"
+)
+
+// cacheEntry is one cached integration: the full result (kept for
+// /v1/translate, which needs the merge structure) and the response body
+// it produced (reused verbatim on warm /v1/integrate hits).
+type cacheEntry struct {
+	res  *qilabel.Result
+	resp integrateResponse
+}
+
+// lru is a mutex-guarded least-recently-used cache of integration results
+// keyed by qilabel.CacheKey. Capacity is a number of entries; the zero
+// capacity disables caching (every Get misses, Put is a no-op).
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruItem
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *lru) Get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+func (c *lru) Put(key string, entry *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).entry = entry
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruItem{key: key, entry: entry})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Purge drops every entry (used by the cold-path benchmark).
+func (c *lru) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+}

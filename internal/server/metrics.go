@@ -1,0 +1,147 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qilabel/internal/naming"
+)
+
+// latencyWindow is the number of recent samples kept per endpoint for
+// percentile estimation. A fixed ring bounds memory under sustained load.
+const latencyWindow = 1024
+
+// metrics aggregates runtime counters for the /metrics endpoint: request
+// counts and latency percentiles per endpoint, cache hits/misses, the
+// in-flight gauge and the naming pipeline's inference-rule counters
+// accumulated across every cold integration.
+type metrics struct {
+	start time.Time
+
+	inflight    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	rules     naming.Counters
+}
+
+type endpointStats struct {
+	count  int64
+	errors int64
+	lat    []time.Duration // ring buffer of recent latencies
+	next   int
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// record tallies one completed request.
+func (m *metrics) record(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{}
+		m.endpoints[endpoint] = st
+	}
+	st.count++
+	if status >= 400 {
+		st.errors++
+	}
+	if len(st.lat) < latencyWindow {
+		st.lat = append(st.lat, d)
+	} else {
+		st.lat[st.next] = d
+		st.next = (st.next + 1) % latencyWindow
+	}
+}
+
+// addRules accumulates one integration's inference-rule counters.
+func (m *metrics) addRules(c naming.Counters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, v := range c.LI {
+		m.rules.LI[i] += v
+	}
+}
+
+// endpointSnapshot is the JSON form of one endpoint's statistics.
+type endpointSnapshot struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// snapshot is the JSON form of the whole registry.
+type snapshot struct {
+	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	Inflight      int64                       `json:"inflight"`
+	Cache         cacheSnapshot               `json:"cache"`
+	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
+	Naming        map[string]int              `json:"naming"`
+}
+
+type cacheSnapshot struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
+func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
+	s := snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Inflight:      m.inflight.Load(),
+		Cache: cacheSnapshot{
+			Hits:     m.cacheHits.Load(),
+			Misses:   m.cacheMisses.Load(),
+			Entries:  cacheEntries,
+			Capacity: cacheCap,
+		},
+		Endpoints: make(map[string]endpointSnapshot),
+		Naming:    make(map[string]int),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, st := range m.endpoints {
+		s.Endpoints[name] = endpointSnapshot{
+			Count:  st.count,
+			Errors: st.errors,
+			P50Ms:  percentileMs(st.lat, 0.50),
+			P90Ms:  percentileMs(st.lat, 0.90),
+			P99Ms:  percentileMs(st.lat, 0.99),
+		}
+	}
+	total := 0
+	for li := 1; li <= 7; li++ {
+		s.Naming["li"+string(rune('0'+li))] = m.rules.LI[li]
+		total += m.rules.LI[li]
+	}
+	s.Naming["total"] = total
+	return s
+}
+
+// percentileMs returns the q-th percentile of the samples in milliseconds
+// (nearest-rank on a sorted copy; 0 with no samples).
+func percentileMs(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,504 @@
+// Package server exposes the full labeling pipeline — extraction,
+// matching, merging, naming, evaluation and query translation — as a
+// long-running HTTP/JSON service, the deployment shape the paper's system
+// overview implies: source interfaces arrive, get integrated and labeled
+// once, and global queries are then translated against the cached
+// integration for many users.
+//
+// Endpoints:
+//
+//	POST /v1/integrate  source trees (or a builtin domain) in, labeled
+//	                    tree + classification + labels + report out
+//	POST /v1/extract    raw HTML in, schema trees out; optionally piped
+//	                    straight into integration with the matcher
+//	POST /v1/translate  global query against a cached integration in,
+//	                    per-source subqueries out (pure cache hit)
+//	GET  /v1/domains    the builtin evaluation corpora
+//	GET  /healthz       liveness probe
+//	GET  /metrics       request/latency/cache/inference-rule counters
+//
+// Production plumbing: a bounded worker pool (503 + Retry-After on
+// saturation), per-request timeouts, request-size limits, and an LRU
+// cache of integration results keyed by qilabel.CacheKey, so repeated
+// integrations of one source pool skip match/merge/naming entirely.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"qilabel"
+	"qilabel/internal/dataset"
+)
+
+// Config tunes the service. The zero value selects production defaults.
+type Config struct {
+	// MaxInflight bounds the number of pipeline computations running at
+	// once; further requests receive 503 + Retry-After instead of queueing
+	// unboundedly. Zero: 2×GOMAXPROCS.
+	MaxInflight int
+	// MaxBodyBytes limits request bodies; larger bodies receive 413.
+	// Zero: 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one pipeline computation; on expiry the
+	// request receives 504 (the computation finishes in the background and
+	// still populates the cache). Zero: 30 s.
+	RequestTimeout time.Duration
+	// CacheSize is the integration-result LRU capacity in entries.
+	// Zero: 128. Negative: caching disabled.
+	CacheSize int
+	// Lexicon, when non-nil, replaces the embedded default lexicon for
+	// every request (it participates in cache keys via the fingerprint).
+	Lexicon *qilabel.Lexicon
+}
+
+// Server is the HTTP labeling service. Create with New; it is safe for
+// concurrent use by the standard library's HTTP server.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	cache   *lru
+	metrics *metrics
+	mux     *http.ServeMux
+
+	domainsOnce sync.Once
+	domainsList []domainInfo
+
+	// testHookSlow, when set, runs inside every integration worker before
+	// the pipeline; tests use it to hold requests in flight.
+	testHookSlow func()
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = 128
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0
+	}
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		cache:   newLRU(cfg.CacheSize),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.route("POST /v1/integrate", "/v1/integrate", s.handleIntegrate)
+	s.route("POST /v1/extract", "/v1/extract", s.handleExtract)
+	s.route("POST /v1/translate", "/v1/translate", s.handleTranslate)
+	s.route("GET /v1/domains", "/v1/domains", s.handleDomains)
+	s.route("GET /healthz", "/healthz", s.handleHealthz)
+	s.route("GET /metrics", "/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers a handler wrapped with per-endpoint instrumentation.
+func (s *Server) route(pattern, label string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.record(label, sw.status, time.Since(start))
+	}))
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// acquire claims a worker-pool slot without blocking. The returned release
+// is idempotent.
+func (s *Server) acquire() (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-s.sem
+				s.metrics.inflight.Add(-1)
+			})
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// ---- request/response shapes -------------------------------------------
+
+// requestOptions mirrors the qilabel.Option set over JSON.
+type requestOptions struct {
+	// Matcher recomputes clusters from labels and instances (implied by
+	// extraction, whose trees carry no annotations).
+	Matcher bool `json:"matcher,omitempty"`
+	// NoInstances disables the instance rules LI6/LI7.
+	NoInstances bool `json:"noInstances,omitempty"`
+	// MaxLevel caps the consistency levels (1–3; 0 = all).
+	MaxLevel int `json:"maxLevel,omitempty"`
+	// MinFrequency drops fields on fewer than N source interfaces.
+	MinFrequency int `json:"minFrequency,omitempty"`
+}
+
+func (s *Server) options(o requestOptions) []qilabel.Option {
+	var opts []qilabel.Option
+	if s.cfg.Lexicon != nil {
+		opts = append(opts, qilabel.WithLexicon(s.cfg.Lexicon))
+	}
+	if o.Matcher {
+		opts = append(opts, qilabel.WithMatcher())
+	}
+	if o.NoInstances {
+		opts = append(opts, qilabel.WithoutInstances())
+	}
+	if o.MaxLevel > 0 {
+		opts = append(opts, qilabel.WithMaxLevel(o.MaxLevel))
+	}
+	if o.MinFrequency > 0 {
+		opts = append(opts, qilabel.WithMinFrequency(o.MinFrequency))
+	}
+	return opts
+}
+
+type integrateRequest struct {
+	// Sources are the interface trees to integrate (qilabel JSON format).
+	Sources []*qilabel.Tree `json:"sources,omitempty"`
+	// Domain selects a builtin evaluation corpus instead of Sources.
+	Domain  string         `json:"domain,omitempty"`
+	Options requestOptions `json:"options"`
+}
+
+type reportJSON struct {
+	Domain      string  `json:"domain,omitempty"`
+	FldAcc      float64 `json:"fldAcc"`
+	IntAcc      float64 `json:"intAcc"`
+	HA          float64 `json:"ha"`
+	HAPrime     float64 `json:"haPrime"`
+	IntLeaves   int     `json:"intLeaves"`
+	IntInternal int     `json:"intInternal"`
+	IntDepth    int     `json:"intDepth"`
+}
+
+type integrateResponse struct {
+	// Key identifies this integration in the result cache; pass it to
+	// /v1/translate.
+	Key string `json:"key"`
+	// Cached reports whether the response was served from the cache
+	// (match/merge/naming skipped).
+	Cached bool              `json:"cached"`
+	Class  string            `json:"class"`
+	Labels map[string]string `json:"labels"`
+	Tree   *qilabel.Tree     `json:"tree"`
+	// Text is the indented one-node-per-line rendering of the tree.
+	Text   string         `json:"text"`
+	Report reportJSON     `json:"report"`
+	Rules  map[string]int `json:"ruleCounters"`
+}
+
+type extractRequest struct {
+	// HTML is the raw page.
+	HTML string `json:"html"`
+	// Interface names the extracted interfaces when forms carry no
+	// id/name attribute.
+	Interface string `json:"interface,omitempty"`
+	// Integrate pipes the extracted trees straight into integration with
+	// the matcher.
+	Integrate bool           `json:"integrate,omitempty"`
+	Options   requestOptions `json:"options"`
+}
+
+type extractResponse struct {
+	Trees []*qilabel.Tree `json:"trees"`
+}
+
+type translateRequest struct {
+	// Key is the cache key of a prior /v1/integrate response.
+	Key string `json:"key"`
+	// Query assigns values to integrated fields by cluster name.
+	Query map[string]string `json:"query"`
+}
+
+type assignmentJSON struct {
+	Label       string   `json:"label"`
+	Clusters    []string `json:"clusters"`
+	Value       string   `json:"value"`
+	Approximate bool     `json:"approximate,omitempty"`
+}
+
+type subQueryJSON struct {
+	Interface   string           `json:"interface"`
+	Assignments []assignmentJSON `json:"assignments"`
+	Unsupported []string         `json:"unsupported,omitempty"`
+}
+
+type translateResponse struct {
+	Key        string         `json:"key"`
+	SubQueries []subQueryJSON `json:"subQueries"`
+}
+
+type domainInfo struct {
+	Name       string `json:"name"`
+	Interfaces int    `json:"interfaces"`
+}
+
+// ---- handlers -----------------------------------------------------------
+
+func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
+	var req integrateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sources, ok := s.resolveSources(w, req)
+	if !ok {
+		return
+	}
+	s.integrate(r, w, sources, req.Domain, s.options(req.Options))
+}
+
+func (s *Server) resolveSources(w http.ResponseWriter, req integrateRequest) ([]*qilabel.Tree, bool) {
+	switch {
+	case req.Domain != "" && len(req.Sources) > 0:
+		writeError(w, http.StatusBadRequest, "specify either sources or domain, not both")
+		return nil, false
+	case req.Domain != "":
+		sources, err := qilabel.BuiltinDomain(req.Domain)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return nil, false
+		}
+		return sources, true
+	case len(req.Sources) > 0:
+		return req.Sources, true
+	default:
+		writeError(w, http.StatusBadRequest, "no source interfaces: provide sources or a builtin domain")
+		return nil, false
+	}
+}
+
+// integrate serves one integration request: warm keys come straight from
+// the cache, cold keys claim a worker-pool slot and run the pipeline.
+func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qilabel.Tree, domain string, opts []qilabel.Option) {
+	key := qilabel.CacheKey(sources, opts...)
+	if e, hit := s.cache.Get(key); hit {
+		s.metrics.cacheHits.Add(1)
+		resp := e.resp
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	release, ok := s.acquire()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("server saturated (%d integrations in flight); retry shortly", s.cfg.MaxInflight))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	type outcome struct {
+		res *qilabel.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		if s.testHookSlow != nil {
+			s.testHookSlow()
+		}
+		res, err := qilabel.Integrate(sources, opts...)
+		done <- outcome{res, err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		// The pipeline keeps running; let it populate the cache so a
+		// retry of the same key is a hit.
+		go func() {
+			if o := <-done; o.err == nil {
+				s.finish(key, domain, sources, o.res)
+			}
+		}()
+		writeError(w, http.StatusGatewayTimeout,
+			"integration timed out; it continues in the background — retry with the same request")
+	case o := <-done:
+		if o.err != nil {
+			writeError(w, http.StatusBadRequest, o.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, s.finish(key, domain, sources, o.res))
+	}
+}
+
+// finish builds the response for a cold integration, feeds the rule
+// counters into the metrics registry and caches the entry.
+func (s *Server) finish(key, domain string, sources []*qilabel.Tree, res *qilabel.Result) integrateResponse {
+	rep := res.Report(domain, sources)
+	resp := integrateResponse{
+		Key:    key,
+		Class:  res.Class.String(),
+		Labels: res.Labels,
+		Tree:   res.Tree,
+		Text:   res.Tree.String(),
+		Report: reportJSON{
+			Domain:      rep.Domain,
+			FldAcc:      rep.FldAcc,
+			IntAcc:      rep.IntAcc,
+			HA:          rep.HA,
+			HAPrime:     rep.HAPrime,
+			IntLeaves:   rep.IntLeaves,
+			IntInternal: rep.IntInternal,
+			IntDepth:    rep.IntDepth,
+		},
+		Rules: make(map[string]int),
+	}
+	for li := 1; li <= 7; li++ {
+		resp.Rules[fmt.Sprintf("li%d", li)] = res.Naming.Counters.LI[li]
+	}
+	s.metrics.addRules(res.Naming.Counters)
+	s.cache.Put(key, &cacheEntry{res: res, resp: resp})
+	return resp
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.HTML == "" {
+		writeError(w, http.StatusBadRequest, "no html in request body")
+		return
+	}
+	iface := req.Interface
+	if iface == "" {
+		iface = "form"
+	}
+	trees := qilabel.ExtractForms([]byte(req.HTML), iface)
+	if len(trees) == 0 {
+		writeError(w, http.StatusBadRequest, "no <form> elements found in the page")
+		return
+	}
+	if !req.Integrate {
+		writeJSON(w, http.StatusOK, extractResponse{Trees: trees})
+		return
+	}
+	// Extracted trees carry no cluster annotations; the matcher is
+	// mandatory on this path.
+	req.Options.Matcher = true
+	s.integrate(r, w, trees, "", s.options(req.Options))
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	var req translateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, "no cache key; integrate first and pass the returned key")
+		return
+	}
+	entry, ok := s.cache.Get(req.Key)
+	if !ok {
+		s.metrics.cacheMisses.Add(1)
+		writeError(w, http.StatusNotFound,
+			"unknown or evicted integration key; re-run /v1/integrate and retry")
+		return
+	}
+	s.metrics.cacheHits.Add(1)
+	subs := entry.res.Translate(req.Query)
+	resp := translateResponse{Key: req.Key}
+	for _, sub := range subs {
+		sj := subQueryJSON{
+			Interface:   sub.Interface,
+			Assignments: []assignmentJSON{},
+			Unsupported: sub.Unsupported,
+		}
+		for _, a := range sub.Assignments {
+			sj.Assignments = append(sj.Assignments, assignmentJSON{
+				Label:       a.Label,
+				Clusters:    a.Clusters,
+				Value:       a.Value,
+				Approximate: a.Approximate,
+			})
+		}
+		resp.SubQueries = append(resp.SubQueries, sj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	s.domainsOnce.Do(func() {
+		for _, d := range dataset.Domains() {
+			s.domainsList = append(s.domainsList, domainInfo{
+				Name:       d.Name,
+				Interfaces: len(d.Generate()),
+			})
+		}
+	})
+	writeJSON(w, http.StatusOK, map[string][]domainInfo{"domains": s.domainsList})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize))
+}
+
+// ---- plumbing -----------------------------------------------------------
+
+// decode parses the JSON request body under the configured size limit,
+// answering 413 on oversize and 400 with the parse error otherwise.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", s.cfg.MaxBodyBytes))
+		} else {
+			writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,8 +1,12 @@
 package qilabel
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 
 	"qilabel/internal/cluster"
 	"qilabel/internal/dataset"
@@ -128,6 +132,10 @@ type Result struct {
 	// Naming exposes the full naming report (group solutions, candidate
 	// labels per internal node, inference-rule counters).
 	Naming *naming.Result
+
+	// lex is the lexicon the result was built with (nil: the embedded
+	// default), retained so Verify re-checks with the same semantics.
+	lex *lexicon.Lexicon
 }
 
 // Integrate matches (if requested), merges and labels the given source
@@ -186,6 +194,7 @@ func Integrate(sources []*Tree, opts ...Option) (*Result, error) {
 		Labels: make(map[string]string, len(m.Clusters)),
 		Merge:  mr,
 		Naming: nres,
+		lex:    cfg.lexicon,
 	}
 	for _, c := range m.Clusters {
 		if leaf := mr.LeafOf[c.Name]; leaf != nil {
@@ -221,6 +230,48 @@ func pruneRareClusters(trees []*schema.Tree, m *cluster.Mapping, minFreq int) *c
 	return cluster.NewMapping(keep...)
 }
 
+// Fingerprint renders the effective configuration the given options
+// produce as a canonical string: which lexicon (the embedded default, or
+// an 8-byte digest of a custom one), whether the matcher and the instance
+// rules run, the consistency-level cap and the frequency cutoff. Two
+// option lists with the same fingerprint make Integrate behave
+// identically on any input, so the fingerprint (together with a canonical
+// hash of the sources, see CacheKey) is a sound cache key component.
+func Fingerprint(opts ...Option) string {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	lex := "default"
+	if cfg.lexicon != nil {
+		if data, err := cfg.lexicon.EncodeJSON(); err == nil {
+			sum := sha256.Sum256(data)
+			lex = hex.EncodeToString(sum[:8])
+		} else {
+			lex = "custom"
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "lexicon=%s matcher=%t instances=%t maxLevel=%d minFreq=%d",
+		lex, cfg.useMatcher, !cfg.noInstances, int(cfg.maxLevel), cfg.minFreq)
+	return b.String()
+}
+
+// CacheKey returns a deterministic key identifying an Integrate call: the
+// canonical hash of the source-tree set combined with the option
+// fingerprint. The key is independent of the order the sources are listed
+// in — the common case of many clients integrating one domain's source
+// pool maps to a single key — and changes whenever any tree's structure,
+// any label, instance list or cluster annotation, or any effective option
+// changes.
+func CacheKey(sources []*Tree, opts ...Option) string {
+	h := sha256.New()
+	io.WriteString(h, schema.HashTrees(sources))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, Fingerprint(opts...))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Summary renders a human-readable synopsis: the classification, each
 // group's naming solution and each internal node's label.
 func (r *Result) Summary() string { return r.Naming.Summary() }
@@ -235,9 +286,11 @@ func (r *Result) Explain() string { return r.Naming.Explain() }
 // ancestor titles at least as general as descendants', no same-named
 // siblings — and returns the violations (empty on a sound labeling). The
 // algorithm's own output always verifies; the check exists for callers
-// that post-edit the tree.
+// that post-edit the tree. Verification uses the same lexicon the result
+// was built with, so a labeling assisted by a custom lexicon is checked
+// against those semantics rather than the weaker default.
 func (r *Result) Verify() []string {
-	return r.Naming.VerifyVertical(naming.NewSemantics(nil))
+	return r.Naming.VerifyVertical(naming.NewSemantics(r.lex))
 }
 
 // HTML renders the labeled integrated interface as an HTML form: groups
