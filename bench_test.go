@@ -233,3 +233,29 @@ func BenchmarkIntegrateAPI(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIntegrate contrasts the serial and parallel pipeline on the
+// largest corpus (Hotels, 30 interfaces) with the matcher enabled, so the
+// two embarrassingly-parallel stages (pairwise matching, group solving)
+// dominate. With GOMAXPROCS>1 the parallel variant should beat serial
+// while producing byte-identical output (see TestParallelMatchesSerial).
+func BenchmarkIntegrate(b *testing.B) {
+	sources, err := BuiltinDomain("Hotels")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Integrate(sources, WithMatcher(), WithParallelism(mode.workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,7 +2,8 @@
 // and naming — over query interfaces described in a JSON file, and prints
 // the labeled integrated interface.
 //
-//	labeler [-match] [-no-instances] [-max-level N] [-summary] [-timeout 30s] [-strict] file.json
+//	labeler [-match] [-no-instances] [-max-level N] [-summary] [-timeout 30s]
+//	        [-parallelism N] [-v] [-strict] file.json
 //	labeler -domain Airline [-summary]
 //
 // The JSON format is an array of schema trees (see qilabel.EncodeTrees):
@@ -22,6 +23,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +46,9 @@ func main() {
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
 	fromHTML := flag.Bool("from-html", false, "treat the arguments as HTML pages; extract one interface per <form> (implies -match)")
 	domain := flag.String("domain", "", "use a built-in evaluation domain (Airline, Auto, Book, Job, Real Estate, Car Rental, Hotels)")
-	timeout := flag.Duration("timeout", 0, "abort if the pipeline runs longer than this (0 = no limit)")
+	timeout := flag.Duration("timeout", 0, "cancel the pipeline if it runs longer than this (0 = no limit)")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size for the parallel stages (0 = GOMAXPROCS, 1 = serial); never changes the output")
+	verbose := flag.Bool("v", false, "print a per-stage timing table to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero when the classification is inconsistent, so scripts can gate on labeling quality")
 	flag.Parse()
 
@@ -110,9 +115,31 @@ func main() {
 		opts = append(opts, qilabel.WithLexicon(lex))
 	}
 
-	res, err := integrate(sources, opts, *timeout)
+	if *parallelism > 0 {
+		opts = append(opts, qilabel.WithParallelism(*parallelism))
+	}
+	var stages []qilabel.StageEvent
+	if *verbose {
+		opts = append(opts, qilabel.WithObserver(func(e qilabel.StageEvent) {
+			stages = append(stages, e)
+		}))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := qilabel.IntegrateContext(ctx, sources, opts...)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("pipeline exceeded the %s timeout and was canceled", *timeout))
+		}
 		fatal(err)
+	}
+	if *verbose {
+		printStages(stages)
 	}
 	fmt.Printf("integrated %d interfaces -> %s\n\n", len(sources), res.Class)
 	fmt.Print(res.Tree)
@@ -140,27 +167,18 @@ func main() {
 	}
 }
 
-// integrate runs the pipeline, optionally bounded by a wall-clock
-// timeout (the computation is abandoned on expiry).
-func integrate(sources []*qilabel.Tree, opts []qilabel.Option, timeout time.Duration) (*qilabel.Result, error) {
-	if timeout <= 0 {
-		return qilabel.Integrate(sources, opts...)
+// printStages renders the -v per-stage timing table on stderr, so it
+// composes with stdout redirection of the labeled tree.
+func printStages(stages []qilabel.StageEvent) {
+	var total time.Duration
+	for _, e := range stages {
+		total += e.Duration
 	}
-	type outcome struct {
-		res *qilabel.Result
-		err error
+	fmt.Fprintf(os.Stderr, "%-10s %8s %12s\n", "stage", "units", "wall")
+	for _, e := range stages {
+		fmt.Fprintf(os.Stderr, "%-10s %8d %12s\n", e.Stage, e.Units, e.Duration.Round(time.Microsecond))
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := qilabel.Integrate(sources, opts...)
-		done <- outcome{res, err}
-	}()
-	select {
-	case o := <-done:
-		return o.res, o.err
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("pipeline exceeded the %s timeout", timeout)
-	}
+	fmt.Fprintf(os.Stderr, "%-10s %8s %12s\n", "total", "", total.Round(time.Microsecond))
 }
 
 func fatal(err error) {

@@ -1,7 +1,7 @@
 // Command qilabeld serves the labeling pipeline as a long-running
 // HTTP/JSON daemon (see internal/server for the endpoint reference):
 //
-//	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s]
+//	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s] [-parallelism N]
 //	         [-cache 128] [-max-body 8388608] [-lexicon extra.json]
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
@@ -28,6 +28,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent pipeline computations (0 = 2×GOMAXPROCS); excess requests get 503")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size per pipeline computation (0 = GOMAXPROCS, 1 = serial); never changes results")
 	cacheSize := flag.Int("cache", 128, "integration-result LRU capacity in entries (negative disables)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
@@ -39,6 +40,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
+		Parallelism:    *parallelism,
 	}
 	if *lexFile != "" {
 		data, err := os.ReadFile(*lexFile)

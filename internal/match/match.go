@@ -20,10 +20,12 @@
 package match
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"qilabel/internal/naming"
+	"qilabel/internal/pool"
 	"qilabel/internal/schema"
 )
 
@@ -36,6 +38,11 @@ type Options struct {
 	MinInstanceOverlap float64
 	// ClusterPrefix prefixes generated cluster names (default "m").
 	ClusterPrefix string
+	// Parallelism bounds the workers of the pairwise similarity pass, the
+	// matcher's O(F²) hot loop (0: GOMAXPROCS, 1: serial). The pass is
+	// deterministic at any setting: matched pairs are collected per row and
+	// union order never changes the connected components.
+	Parallelism int
 }
 
 // Assign computes clusters for the leaves of the given trees and writes
@@ -43,6 +50,14 @@ type Options struct {
 // annotation). It returns the number of clusters formed. Leaves with
 // neither a usable label nor instances form singleton clusters.
 func Assign(trees []*schema.Tree, opts Options) int {
+	n, _ := AssignContext(context.Background(), trees, opts)
+	return n
+}
+
+// AssignContext is Assign with cooperative cancellation: the pairwise
+// similarity pass checks ctx between rows and returns ctx.Err() once the
+// context is done, leaving the trees' annotations untouched.
+func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int, error) {
 	sem := opts.Semantics
 	if sem == nil {
 		sem = naming.NewSemantics(nil)
@@ -66,6 +81,33 @@ func Assign(trees []*schema.Tree, opts Options) int {
 		}
 	}
 
+	// Pairwise similarity, one row per field: row i records every j > i it
+	// matches. Rows are independent, so they fan out over the worker pool;
+	// each worker carries its own Semantics (the label-analysis cache is not
+	// concurrency-safe) over the same lexicon, which cannot change any
+	// verdict — only its speed.
+	workers := pool.Workers(opts.Parallelism)
+	sems := make([]*naming.Semantics, workers)
+	sems[0] = sem // the serial path reuses the caller's cache
+	matches := make([][]int, len(fields))
+	err := pool.ForEach(ctx, workers, len(fields), func(w, i int) {
+		if sems[w] == nil {
+			sems[w] = naming.NewSemantics(sem.Lexicon())
+		}
+		for j := i + 1; j < len(fields); j++ {
+			// Fields of the same interface never match each other.
+			if fields[i].iface == fields[j].iface {
+				continue
+			}
+			if fieldsMatch(sems[w], fields[i].leaf, fields[j].leaf, opts.MinInstanceOverlap) {
+				matches[i] = append(matches[i], j)
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+
 	parent := make([]int, len(fields))
 	for i := range parent {
 		parent[i] = i
@@ -80,15 +122,9 @@ func Assign(trees []*schema.Tree, opts Options) int {
 	}
 	union := func(a, b int) { parent[find(b)] = find(a) }
 
-	for i := 0; i < len(fields); i++ {
-		for j := i + 1; j < len(fields); j++ {
-			// Fields of the same interface never match each other.
-			if fields[i].iface == fields[j].iface {
-				continue
-			}
-			if fieldsMatch(sem, fields[i].leaf, fields[j].leaf, opts.MinInstanceOverlap) {
-				union(i, j)
-			}
+	for i, js := range matches {
+		for _, j := range js {
+			union(i, j)
 		}
 	}
 
@@ -127,7 +163,7 @@ func Assign(trees []*schema.Tree, opts Options) int {
 		}
 		f.leaf.Cluster = name
 	}
-	return next - 1
+	return next - 1, nil
 }
 
 // fieldsMatch evaluates the two similarity signals.

@@ -20,6 +20,7 @@
 package merge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -76,6 +77,13 @@ type occurrence struct {
 // correspondences expanded (cluster.ExpandOneToMany) and every leaf must
 // carry a cluster name; m must be the mapping derived from the same trees.
 func Merge(trees []*schema.Tree, m *cluster.Mapping) (*Result, error) {
+	return MergeContext(context.Background(), trees, m)
+}
+
+// MergeContext is Merge with cooperative cancellation: the laminar-family
+// construction — the merge's only super-linear loop — checks ctx between
+// union steps and returns ctx.Err() once the context is done.
+func MergeContext(ctx context.Context, trees []*schema.Tree, m *cluster.Mapping) (*Result, error) {
 	if len(trees) == 0 {
 		return nil, errors.New("merge: no source trees")
 	}
@@ -102,7 +110,10 @@ func Merge(trees []*schema.Tree, m *cluster.Mapping) (*Result, error) {
 	}
 
 	units := collectUnits(trees, universe)
-	laminar := selectLaminar(units, len(universe))
+	laminar, err := selectLaminar(ctx, units, len(universe))
+	if err != nil {
+		return nil, err
+	}
 	pos := averagePositions(trees)
 	root := buildTree(laminar, universe, pos)
 	tree := &schema.Tree{Interface: "integrated", Root: root}
@@ -167,7 +178,7 @@ func key(set map[string]bool) string {
 // clusters no single source covers). Units nested by containment survive as
 // hierarchy (super-groups). Units covering the entire universe are
 // redundant with the root and dropped.
-func selectLaminar(units map[string]*unit, universeSize int) []*unit {
+func selectLaminar(ctx context.Context, units map[string]*unit, universeSize int) ([]*unit, error) {
 	work := make(map[string]*unit, len(units))
 	for k, u := range units {
 		cp := &unit{key: k, clusters: u.clusters, support: u.support, size: u.size,
@@ -175,6 +186,9 @@ func selectLaminar(units map[string]*unit, universeSize int) []*unit {
 		work[k] = cp
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, b := findCrossing(work)
 		if a == nil {
 			break
@@ -206,7 +220,7 @@ func selectLaminar(units map[string]*unit, universeSize int) []*unit {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
-	return dropUnobservedNesting(out)
+	return dropUnobservedNesting(out), nil
 }
 
 // dropUnobservedNesting flattens containment relations that no source

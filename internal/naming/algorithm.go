@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"qilabel/internal/cluster"
 	"qilabel/internal/lexicon"
 	"qilabel/internal/merge"
+	"qilabel/internal/pool"
 	"qilabel/internal/schema"
 )
 
@@ -51,6 +53,11 @@ type Options struct {
 	MaxLevel Level
 	// DisableInstances turns the instance rules LI 6 / LI 7 off.
 	DisableInstances bool
+	// Parallelism bounds the workers of the per-group solving and per-node
+	// candidate-derivation fan-outs (0: GOMAXPROCS, 1: serial). Groups and
+	// nodes are solved independently, so the setting cannot change the
+	// labeling — every unit's outcome is a pure function of its input.
+	Parallelism int
 }
 
 // GroupReport records the solving of one group.
@@ -123,6 +130,18 @@ type Result struct {
 // schema tree supports (Definition 8). Phase three assigns each node a
 // label complying with that level.
 func Run(mr *merge.Result, opts Options) (*Result, error) {
+	return RunContext(context.Background(), mr, opts)
+}
+
+// RunContext is Run with cooperative cancellation and a bounded worker
+// pool: the per-group solver passes (Phase 1a) and the per-node candidate
+// derivation (Phase 1c) — the two passes that dominate large domains — fan
+// out over Options.Parallelism workers and check ctx between units,
+// returning ctx.Err() once the context is done. Each worker carries its own
+// Semantics (the label-analysis cache is not concurrency-safe) over the
+// same lexicon, and each unit tallies inference rules into its own slot, so
+// the parallel run is label- and counter-identical to the serial one.
+func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, error) {
 	if mr == nil || mr.Tree == nil {
 		return nil, errors.New("naming: nil merge result")
 	}
@@ -134,16 +153,36 @@ func Run(mr *merge.Result, opts Options) (*Result, error) {
 	res := &Result{Tree: mr.Tree, IsolatedLabels: make(map[string]string)}
 	sopts.Counters = &res.Counters
 
+	workers := pool.Workers(opts.Parallelism)
+	sems := make([]*Semantics, workers)
+	sems[0] = sem // the serial path reuses the main analysis cache
+	semFor := func(w int) *Semantics {
+		if sems[w] == nil {
+			sems[w] = NewSemantics(opts.Lexicon)
+		}
+		return sems[w]
+	}
+
 	ifaces := cluster.Interfaces(mr.Sources)
 	units := collectSourceUnits(mr.Sources)
 
 	// ---- Phase 1a: groups. -----------------------------------------------
-	for _, g := range mr.Groups {
-		rel := cluster.BuildRelation(g, ifaces)
-		out := sem.SolveGroup(rel, sopts)
+	groupOuts := make([]*GroupOutcome, len(mr.Groups))
+	groupCounters := make([]Counters, len(mr.Groups))
+	err := pool.ForEach(ctx, workers, len(mr.Groups), func(w, i int) {
+		so := sopts
+		so.Counters = &groupCounters[i]
+		rel := cluster.BuildRelation(mr.Groups[i], ifaces)
+		groupOuts[i] = semFor(w).SolveGroup(rel, so)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range mr.Groups {
+		res.Counters.Merge(groupCounters[i])
 		res.Groups = append(res.Groups, &GroupReport{
 			Clusters: clusterNames(g),
-			Outcome:  out,
+			Outcome:  groupOuts[i],
 			IsRoot:   false,
 			Parent:   mr.GroupParent(g),
 		})
@@ -171,17 +210,27 @@ func Run(mr *merge.Result, opts Options) (*Result, error) {
 		}
 		return true
 	})
-	nodeReports := make(map[*schema.Node]*NodeReport, len(internals))
-	for _, n := range internals {
-		x := n.LeafClusters()
-		cands, potentials := sem.candidateLabels(x, units, mr.Mapping, sopts)
-		nr := &NodeReport{
-			Node:           n,
+	nodeOuts := make([]*NodeReport, len(internals))
+	nodeCounters := make([]Counters, len(internals))
+	err = pool.ForEach(ctx, workers, len(internals), func(w, i int) {
+		so := sopts
+		so.Counters = &nodeCounters[i]
+		x := internals[i].LeafClusters()
+		cands, potentials := semFor(w).candidateLabels(x, units, mr.Mapping, so)
+		nodeOuts[i] = &NodeReport{
+			Node:           internals[i],
 			Clusters:       sortedKeys(x),
 			Candidates:     cands,
 			PotentialCount: potentials,
 		}
-		nodeReports[n] = nr
+	})
+	if err != nil {
+		return nil, err
+	}
+	nodeReports := make(map[*schema.Node]*NodeReport, len(internals))
+	for i, nr := range nodeOuts {
+		res.Counters.Merge(nodeCounters[i])
+		nodeReports[nr.Node] = nr
 		res.Nodes = append(res.Nodes, nr)
 	}
 

@@ -20,6 +20,15 @@ func (c *Counters) Add(li int) {
 	}
 }
 
+// Merge adds another tally into this one. Addition commutes, so merging
+// per-unit counters in any order reproduces the serial totals — the
+// property the parallel naming passes rely on.
+func (c *Counters) Merge(o Counters) {
+	for i, v := range o.LI {
+		c.LI[i] += v
+	}
+}
+
 // Total returns the total number of inference-rule firings.
 func (c *Counters) Total() int {
 	t := 0

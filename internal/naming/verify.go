@@ -7,6 +7,35 @@ import (
 	"qilabel/internal/schema"
 )
 
+// Rule names for the verification checks, used in Violation.Rule.
+const (
+	// RuleGenerality is Definition 7's first condition: an ancestor's label
+	// must be at least as general as every labeled descendant's.
+	RuleGenerality = "generality"
+	// RuleHomonym is the sibling-homonym condition of §4.2.3: no two
+	// labeled children of one parent may carry the same name.
+	RuleHomonym = "homonym"
+)
+
+// Violation is one failed verification check: which node broke which rule,
+// with a human-readable explanation. The Detail string is the exact
+// message VerifyVertical has always produced, so string-based consumers
+// can shim through Violations without output changes.
+type Violation struct {
+	// Node is the label of the offending node (the descendant for
+	// generality violations, the parent for homonym violations).
+	Node string
+	// Rule identifies the violated check (RuleGenerality, RuleHomonym).
+	Rule string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Rule, v.Detail)
+}
+
 // VerifyVertical checks Definition 7's first condition over the assigned
 // labels of the integrated tree: along every ancestor–descendant pair of
 // labeled internal nodes, the ancestor's label must be semantically at
@@ -21,12 +50,27 @@ import (
 // name (the homonym condition of §4.2.3) and that every leaf label is
 // string-identical to some source label of its cluster (provenance).
 // It returns a list of human-readable violations, empty when the labeling
-// is vertically sound.
+// is vertically sound. The typed form is VerifyViolations; this shim keeps
+// the historical string output.
 func (r *Result) VerifyVertical(sem *Semantics) []string {
+	vs := r.VerifyViolations(sem)
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Detail
+	}
+	return out
+}
+
+// VerifyViolations runs the same checks as VerifyVertical and returns the
+// violations in typed form.
+func (r *Result) VerifyViolations(sem *Semantics) []Violation {
 	if sem == nil {
 		sem = NewSemantics(nil)
 	}
-	var violations []string
+	var violations []Violation
 
 	// Ancestor-descendant generality between assigned internal labels.
 	nodeByPtr := make(map[*schema.Node]*NodeReport, len(r.Nodes))
@@ -48,9 +92,13 @@ func (r *Result) VerifyVertical(sem *Semantics) []string {
 				if subsetSet(n.LeafClusters(), a.LeafClusters()) {
 					continue
 				}
-				violations = append(violations, fmt.Sprintf(
-					"ancestor %q is not at least as general as descendant %q",
-					a.Label, n.Label))
+				violations = append(violations, Violation{
+					Node: n.Label,
+					Rule: RuleGenerality,
+					Detail: fmt.Sprintf(
+						"ancestor %q is not at least as general as descendant %q",
+						a.Label, n.Label),
+				})
 			}
 			ancestors = append(ancestors, n)
 		}
@@ -69,8 +117,12 @@ func (r *Result) VerifyVertical(sem *Semantics) []string {
 				continue
 			}
 			if seen[l] {
-				violations = append(violations, fmt.Sprintf(
-					"siblings share the name %q under %q", c.Label, n.Label))
+				violations = append(violations, Violation{
+					Node: n.Label,
+					Rule: RuleHomonym,
+					Detail: fmt.Sprintf(
+						"siblings share the name %q under %q", c.Label, n.Label),
+				})
 			}
 			seen[l] = true
 		}

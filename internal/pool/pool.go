@@ -1,0 +1,74 @@
+// Package pool is the pipeline's work scheduler: a bounded parallel-for
+// with cooperative cancellation. The embarrassingly-parallel stages of the
+// labeling pipeline — the matcher's pairwise similarity pass and the naming
+// algorithm's per-group solver and per-node candidate derivation — fan out
+// through ForEach, writing results into index-addressed slots so the
+// parallel schedule can never change the output: every unit is a pure
+// function of its input, and slot i holds unit i's result regardless of
+// which worker computed it or when.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism setting: zero (and negative) selects
+// GOMAXPROCS, anything else is taken literally. Stages treat 1 as "serial".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(worker, i) for every i in [0, n), distributing the
+// indices over up to `workers` goroutines (0 or negative: GOMAXPROCS; the
+// worker count never exceeds n). The worker argument identifies the calling
+// goroutine in [0, workers), so callers can keep per-worker scratch state
+// (e.g. a naming.Semantics, whose analysis cache is not concurrency-safe)
+// without locking.
+//
+// Cancellation is cooperative: each worker checks ctx between units and
+// stops claiming new work once the context is done; in-flight units finish.
+// ForEach returns ctx.Err() when the context was canceled (some units may
+// not have run), nil otherwise. With workers == 1 the units run on the
+// calling goroutine in index order, so a serial configuration is not merely
+// equivalent to the parallel one — it is the plain loop.
+func ForEach(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(0, i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,114 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		hits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(_, i int) {
+			hits[i].Add(1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 1, 10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial worker id = %d", w)
+		}
+		order = append(order, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachWorkerIDsBounded(t *testing.T) {
+	const workers = 4
+	err := ForEach(context.Background(), workers, 200, func(w, _ int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := ForEach(ctx, 4, 10, func(_, _ int) { ran++ })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d units ran under a canceled context", ran)
+	}
+}
+
+func TestForEachStopsPromptlyOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 2, 1_000_000, func(_, _ int) {
+			ran.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		})
+	}()
+	for ran.Load() == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return after cancel")
+	}
+	if ran.Load() >= 1_000_000 {
+		t.Fatal("cancellation did not skip any work")
+	}
+}
+
+func TestForEachZeroUnits(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(_, _ int) {
+		t.Fatal("fn called for n=0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("zero/negative parallelism should select GOMAXPROCS")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit parallelism not honored")
+	}
+}

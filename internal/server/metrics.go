@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qilabel"
 	"qilabel/internal/naming"
 )
 
@@ -26,6 +27,7 @@ type metrics struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	stages    map[string]*stageStats
 	rules     naming.Counters
 }
 
@@ -36,8 +38,22 @@ type endpointStats struct {
 	next   int
 }
 
+// stageStats aggregates one pipeline stage's observer events: how many
+// times the stage ran, how many units (trees, clusters, groups+nodes) it
+// processed in total, and a latency ring for percentiles.
+type stageStats struct {
+	count int64
+	units int64
+	lat   []time.Duration
+	next  int
+}
+
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	return &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+		stages:    make(map[string]*stageStats),
+	}
 }
 
 // record tallies one completed request.
@@ -61,6 +77,26 @@ func (m *metrics) record(endpoint string, status int, d time.Duration) {
 	}
 }
 
+// observeStage tallies one pipeline stage event; it is the qilabel
+// observer hook every cold integration runs with.
+func (m *metrics) observeStage(e qilabel.StageEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stages[e.Stage]
+	if st == nil {
+		st = &stageStats{}
+		m.stages[e.Stage] = st
+	}
+	st.count++
+	st.units += int64(e.Units)
+	if len(st.lat) < latencyWindow {
+		st.lat = append(st.lat, e.Duration)
+	} else {
+		st.lat[st.next] = e.Duration
+		st.next = (st.next + 1) % latencyWindow
+	}
+}
+
 // addRules accumulates one integration's inference-rule counters.
 func (m *metrics) addRules(c naming.Counters) {
 	m.mu.Lock()
@@ -79,12 +115,22 @@ type endpointSnapshot struct {
 	P99Ms  float64 `json:"p99Ms"`
 }
 
+// stageSnapshot is the JSON form of one pipeline stage's statistics.
+type stageSnapshot struct {
+	Count int64   `json:"count"`
+	Units int64   `json:"units"`
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
 // snapshot is the JSON form of the whole registry.
 type snapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
 	Inflight      int64                       `json:"inflight"`
 	Cache         cacheSnapshot               `json:"cache"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
+	Stages        map[string]stageSnapshot    `json:"stages"`
 	Naming        map[string]int              `json:"naming"`
 }
 
@@ -106,6 +152,7 @@ func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
 			Capacity: cacheCap,
 		},
 		Endpoints: make(map[string]endpointSnapshot),
+		Stages:    make(map[string]stageSnapshot),
 		Naming:    make(map[string]int),
 	}
 	m.mu.Lock()
@@ -117,6 +164,15 @@ func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
 			P50Ms:  percentileMs(st.lat, 0.50),
 			P90Ms:  percentileMs(st.lat, 0.90),
 			P99Ms:  percentileMs(st.lat, 0.99),
+		}
+	}
+	for name, st := range m.stages {
+		s.Stages[name] = stageSnapshot{
+			Count: st.count,
+			Units: st.units,
+			P50Ms: percentileMs(st.lat, 0.50),
+			P90Ms: percentileMs(st.lat, 0.90),
+			P99Ms: percentileMs(st.lat, 0.99),
 		}
 	}
 	total := 0

@@ -18,9 +18,19 @@
 //	GET  /metrics       request/latency/cache/inference-rule counters
 //
 // Production plumbing: a bounded worker pool (503 + Retry-After on
-// saturation), per-request timeouts, request-size limits, and an LRU
-// cache of integration results keyed by qilabel.CacheKey, so repeated
-// integrations of one source pool skip match/merge/naming entirely.
+// saturation), per-request timeouts with true pipeline cancellation (a
+// timed-out or disconnected request stops computing and frees its worker
+// slot immediately), request-size limits, per-stage pipeline timings on
+// /metrics, and an LRU cache of integration results keyed by
+// qilabel.CacheKey, so repeated integrations of one source pool skip
+// match/merge/naming entirely.
+//
+// Errors use one structured envelope across every /v1/* endpoint:
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+//
+// with the stable codes bad_request, too_large, saturated, timeout,
+// canceled and not_found.
 package server
 
 import (
@@ -47,8 +57,9 @@ type Config struct {
 	// Zero: 8 MiB.
 	MaxBodyBytes int64
 	// RequestTimeout bounds one pipeline computation; on expiry the
-	// request receives 504 (the computation finishes in the background and
-	// still populates the cache). Zero: 30 s.
+	// request receives 504 and the computation is canceled — the pipeline
+	// observes the context, stops, frees its worker slot and caches
+	// nothing. Zero: 30 s.
 	RequestTimeout time.Duration
 	// CacheSize is the integration-result LRU capacity in entries.
 	// Zero: 128. Negative: caching disabled.
@@ -56,6 +67,10 @@ type Config struct {
 	// Lexicon, when non-nil, replaces the embedded default lexicon for
 	// every request (it participates in cache keys via the fingerprint).
 	Lexicon *qilabel.Lexicon
+	// Parallelism bounds the worker pool each pipeline computation fans its
+	// parallel stages out over (0: GOMAXPROCS, 1: serial). Never changes
+	// results, so it does not participate in cache keys.
+	Parallelism int
 }
 
 // Server is the HTTP labeling service. Create with New; it is safe for
@@ -282,25 +297,28 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) resolveSources(w http.ResponseWriter, req integrateRequest) ([]*qilabel.Tree, bool) {
 	switch {
 	case req.Domain != "" && len(req.Sources) > 0:
-		writeError(w, http.StatusBadRequest, "specify either sources or domain, not both")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "specify either sources or domain, not both")
 		return nil, false
 	case req.Domain != "":
 		sources, err := qilabel.BuiltinDomain(req.Domain)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 			return nil, false
 		}
 		return sources, true
 	case len(req.Sources) > 0:
 		return req.Sources, true
 	default:
-		writeError(w, http.StatusBadRequest, "no source interfaces: provide sources or a builtin domain")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no source interfaces: provide sources or a builtin domain")
 		return nil, false
 	}
 }
 
 // integrate serves one integration request: warm keys come straight from
-// the cache, cold keys claim a worker-pool slot and run the pipeline.
+// the cache, cold keys claim a worker-pool slot and run the pipeline under
+// the request context. Timeout or client disconnect cancels the pipeline
+// cooperatively — the computation stops at its next checkpoint, the slot
+// frees, and nothing reaches the cache.
 func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qilabel.Tree, domain string, opts []qilabel.Option) {
 	key := qilabel.CacheKey(sources, opts...)
 	if e, hit := s.cache.Get(key); hit {
@@ -315,44 +333,33 @@ func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qi
 	release, ok := s.acquire()
 	if !ok {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, http.StatusServiceUnavailable, codeSaturated,
 			fmt.Sprintf("server saturated (%d integrations in flight); retry shortly", s.cfg.MaxInflight))
 		return
 	}
+	defer release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	type outcome struct {
-		res *qilabel.Result
-		err error
+	if s.testHookSlow != nil {
+		s.testHookSlow()
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		defer release()
-		if s.testHookSlow != nil {
-			s.testHookSlow()
-		}
-		res, err := qilabel.Integrate(sources, opts...)
-		done <- outcome{res, err}
-	}()
-
-	select {
-	case <-ctx.Done():
-		// The pipeline keeps running; let it populate the cache so a
-		// retry of the same key is a hit.
-		go func() {
-			if o := <-done; o.err == nil {
-				s.finish(key, domain, sources, o.res)
-			}
-		}()
-		writeError(w, http.StatusGatewayTimeout,
-			"integration timed out; it continues in the background — retry with the same request")
-	case o := <-done:
-		if o.err != nil {
-			writeError(w, http.StatusBadRequest, o.err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, s.finish(key, domain, sources, o.res))
+	opts = append(opts, qilabel.WithParallelism(s.cfg.Parallelism),
+		qilabel.WithObserver(s.metrics.observeStage))
+	res, err := qilabel.IntegrateContext(ctx, sources, opts...)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, codeTimeout,
+			fmt.Sprintf("integration exceeded the %s request timeout and was canceled; retry or split the source pool", s.cfg.RequestTimeout))
+	case errors.Is(err, context.Canceled):
+		// The client went away; the pipeline stopped at its next
+		// checkpoint. 499 is the de-facto "client closed request" status.
+		writeError(w, statusClientClosedRequest, codeCanceled,
+			"request canceled before the integration finished")
+	case err != nil:
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, s.finish(key, domain, sources, res))
 	}
 }
 
@@ -392,7 +399,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.HTML == "" {
-		writeError(w, http.StatusBadRequest, "no html in request body")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no html in request body")
 		return
 	}
 	iface := req.Interface
@@ -401,7 +408,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	trees := qilabel.ExtractForms([]byte(req.HTML), iface)
 	if len(trees) == 0 {
-		writeError(w, http.StatusBadRequest, "no <form> elements found in the page")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no <form> elements found in the page")
 		return
 	}
 	if !req.Integrate {
@@ -420,13 +427,13 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Key == "" {
-		writeError(w, http.StatusBadRequest, "no cache key; integrate first and pass the returned key")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no cache key; integrate first and pass the returned key")
 		return
 	}
 	entry, ok := s.cache.Get(req.Key)
 	if !ok {
 		s.metrics.cacheMisses.Add(1)
-		writeError(w, http.StatusNotFound,
+		writeError(w, http.StatusNotFound, codeNotFound,
 			"unknown or evicted integration key; re-run /v1/integrate and retry")
 		return
 	}
@@ -481,10 +488,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
 				fmt.Sprintf("request body exceeds the %d-byte limit", s.cfg.MaxBodyBytes))
 		} else {
-			writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+			writeError(w, http.StatusBadRequest, codeBadRequest, "malformed request body: "+err.Error())
 		}
 		return false
 	}
@@ -499,6 +506,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// Stable machine-readable error codes carried in the error envelope.
+// Clients branch on these; the HTTP status and human message may evolve.
+const (
+	codeBadRequest = "bad_request"
+	codeTooLarge   = "too_large"
+	codeSaturated  = "saturated"
+	codeTimeout    = "timeout"
+	codeCanceled   = "canceled"
+	codeNotFound   = "not_found"
+)
+
+// statusClientClosedRequest is nginx's de-facto standard status for a
+// request the client abandoned; net/http has no constant for it.
+const statusClientClosedRequest = 499
+
+// errorEnvelope is the uniform error shape of every /v1/* endpoint.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
 }

@@ -143,10 +143,41 @@ func TestIntegrateBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
 		}
-		if !strings.Contains(string(body), tc.want) {
-			t.Errorf("%s: body %q does not mention %q", tc.name, body, tc.want)
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: body %q is not an error envelope: %v", tc.name, body, err)
+			continue
+		}
+		if env.Error.Code != codeBadRequest {
+			t.Errorf("%s: error code = %q, want %q", tc.name, env.Error.Code, codeBadRequest)
+		}
+		if !strings.Contains(env.Error.Message, tc.want) {
+			t.Errorf("%s: message %q does not mention %q", tc.name, env.Error.Message, tc.want)
 		}
 	}
+}
+
+// TestErrorEnvelopeCodes pins the machine-readable code of each
+// non-400 error path.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	t.Run("too_large", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+		resp := postJSON(t, ts.URL+"/v1/integrate", integrateRequest{Sources: fixtureSources()})
+		var env errorEnvelope
+		decodeBody(t, resp, &env)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge || env.Error.Code != codeTooLarge {
+			t.Fatalf("status=%d code=%q, want 413/%q", resp.StatusCode, env.Error.Code, codeTooLarge)
+		}
+	})
+	t.Run("not_found", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		resp := postJSON(t, ts.URL+"/v1/translate", translateRequest{Key: "deadbeef"})
+		var env errorEnvelope
+		decodeBody(t, resp, &env)
+		if resp.StatusCode != http.StatusNotFound || env.Error.Code != codeNotFound {
+			t.Fatalf("status=%d code=%q, want 404/%q", resp.StatusCode, env.Error.Code, codeNotFound)
+		}
+	})
 }
 
 func TestOversizedBody(t *testing.T) {
@@ -180,12 +211,16 @@ func TestSaturationReturns503(t *testing.T) {
 	<-entered // the single worker slot is now held
 
 	resp := postJSON(t, ts.URL+"/v1/integrate", integrateRequest{Domain: "Book"})
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
+	}
+	var env errorEnvelope
+	decodeBody(t, resp, &env)
+	if env.Error.Code != codeSaturated {
+		t.Fatalf("error code = %q, want %q", env.Error.Code, codeSaturated)
 	}
 
 	close(unblock)
@@ -194,27 +229,78 @@ func TestSaturationReturns503(t *testing.T) {
 	}
 }
 
-func TestTimeoutPopulatesCacheInBackground(t *testing.T) {
+// TestTimeoutCancelsAndCachesNothing: on expiry the pipeline is canceled,
+// the worker slot frees, and no partial result reaches the cache — a retry
+// of the same key is a fresh cold computation, not a hit.
+func TestTimeoutCancelsAndCachesNothing(t *testing.T) {
 	s, ts := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
 	s.testHookSlow = func() { time.Sleep(150 * time.Millisecond) }
 
 	resp := postJSON(t, ts.URL+"/v1/integrate", integrateRequest{Sources: fixtureSources()})
-	resp.Body.Close()
+	var env errorEnvelope
+	decodeBody(t, resp, &env)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504", resp.StatusCode)
 	}
+	if env.Error.Code != codeTimeout {
+		t.Fatalf("error code = %q, want %q", env.Error.Code, codeTimeout)
+	}
+	if s.cache.Len() != 0 {
+		t.Fatalf("canceled integration reached the cache (%d entries)", s.cache.Len())
+	}
+	if s.metrics.inflight.Load() != 0 {
+		t.Fatalf("inflight = %d after timeout, want 0 (slot not freed)", s.metrics.inflight.Load())
+	}
+
+	// A retry with a sane budget recomputes and succeeds.
+	s.testHookSlow = nil
+	s.cfg.RequestTimeout = 5 * time.Second
+	var retry integrateResponse
+	decodeBody(t, postJSON(t, ts.URL+"/v1/integrate", integrateRequest{Sources: fixtureSources()}), &retry)
+	if retry.Cached {
+		t.Fatal("retry was a cache hit: the timed-out run must not have cached")
+	}
+	if retry.Key == "" || retry.Tree == nil {
+		t.Fatal("retry did not produce a result")
+	}
+}
+
+// TestClientCancelDoesNotCache drops the connection mid-computation: the
+// pipeline must stop, free its slot, and cache nothing.
+func TestClientCancelDoesNotCache(t *testing.T) {
+	entered := make(chan struct{})
+	s, ts := newTestServer(t, Config{})
+	s.testHookSlow = func() {
+		close(entered)
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	data, _ := json.Marshal(integrateRequest{Sources: fixtureSources()})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/integrate", bytes.NewReader(data))
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	cancel()
+	<-done
 
 	deadline := time.Now().Add(2 * time.Second)
-	for s.cache.Len() == 0 {
+	for s.metrics.inflight.Load() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatal("timed-out integration never reached the cache")
+			t.Fatalf("inflight = %d after client cancel, want 0", s.metrics.inflight.Load())
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
 	}
-	var warm integrateResponse
-	decodeBody(t, postJSON(t, ts.URL+"/v1/integrate", integrateRequest{Sources: fixtureSources()}), &warm)
-	if !warm.Cached {
-		t.Fatal("retry after timeout was not a cache hit")
+	if s.cache.Len() != 0 {
+		t.Fatalf("canceled integration reached the cache (%d entries)", s.cache.Len())
 	}
 }
 
@@ -320,6 +406,15 @@ func TestDomainsHealthzMetrics(t *testing.T) {
 	}
 	if snap.Naming["total"] == 0 {
 		t.Fatal("no inference-rule firings aggregated")
+	}
+	for _, stage := range []string{"validate", "merge", "naming"} {
+		st, ok := snap.Stages[stage]
+		if !ok || st.Count == 0 {
+			t.Errorf("stage %q missing from metrics: %+v", stage, snap.Stages)
+		}
+	}
+	if snap.Stages["naming"].Units == 0 {
+		t.Error("naming stage reports zero units")
 	}
 }
 

@@ -1,12 +1,14 @@
 package qilabel
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"qilabel/internal/cluster"
 	"qilabel/internal/dataset"
@@ -78,33 +80,116 @@ func DefaultLexicon() *Lexicon { return lexicon.Default() }
 // edges, irregular inflections, vocabulary; see Lexicon.EncodeJSON).
 func DecodeLexicon(data []byte) (*Lexicon, error) { return lexicon.DecodeJSON(data) }
 
-// Option configures Integrate.
-type Option func(*config)
-
-type config struct {
-	lexicon     *lexicon.Lexicon
-	useMatcher  bool
-	noInstances bool
-	maxLevel    naming.Level
-	minFreq     int
+// StageEvent reports the completion of one pipeline stage to an observer
+// installed with WithObserver (or Config.Observer): which stage ran, how
+// many units it processed and how long it took. Stage names are stable:
+// "validate" (source validation and deep copy; units = source trees),
+// "match" (cluster recomputation, only with the matcher enabled; units =
+// clusters formed), "merge" (structural integration; units = clusters) and
+// "naming" (the labeling passes; units = groups + internal nodes).
+type StageEvent struct {
+	Stage    string
+	Units    int
+	Duration time.Duration
 }
 
+// Config is the canonical, exported form of every Integrate setting. The
+// zero value is the default behavior (trust cluster annotations, instance
+// rules on, all three consistency levels, no frequency cutoff, GOMAXPROCS
+// parallelism). Pass a whole Config with WithConfig, or build one
+// incrementally with the With* options — each option is a thin wrapper
+// writing one field, so the two styles can never drift apart.
+type Config struct {
+	// Lexicon replaces the embedded lexical knowledge base (nil: default).
+	Lexicon *Lexicon
+	// UseMatcher recomputes the field clusters from labels and instances
+	// instead of trusting the sources' cluster annotations.
+	UseMatcher bool
+	// DisableInstances turns the instance-based inference rules (LI 6 and
+	// LI 7 of the paper) off.
+	DisableInstances bool
+	// MaxLevel caps the consistency levels the group solver tries:
+	// 1 = plain string equality only, 2 = +content-word equality,
+	// 3 = +synonymy. Zero means all three (the default).
+	MaxLevel int
+	// MinFrequency drops fields appearing on fewer than this many source
+	// interfaces before labeling (0 or 1: keep everything).
+	MinFrequency int
+	// Parallelism bounds the worker pool the parallel pipeline stages (the
+	// matcher's pairwise pass, the naming group solver and candidate
+	// derivation) fan out over: 0 = GOMAXPROCS, 1 = serial. The setting
+	// never changes the output — parallel and serial runs produce identical
+	// labelings — so it is excluded from Fingerprint and CacheKey.
+	Parallelism int
+	// Observer, when non-nil, receives one StageEvent per completed
+	// pipeline stage, synchronously on the calling goroutine. Excluded from
+	// Fingerprint and CacheKey.
+	Observer func(StageEvent)
+}
+
+// Validate checks the configuration: MaxLevel must be 0–3, MinFrequency
+// and Parallelism non-negative. Integrate rejects invalid configurations
+// before touching the sources.
+func (c Config) Validate() error {
+	if c.MaxLevel < 0 || c.MaxLevel > int(naming.LevelSynonymy) {
+		return fmt.Errorf("qilabel: MaxLevel %d out of range 0-%d", c.MaxLevel, int(naming.LevelSynonymy))
+	}
+	if c.MinFrequency < 0 {
+		return fmt.Errorf("qilabel: negative MinFrequency %d", c.MinFrequency)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("qilabel: negative Parallelism %d", c.Parallelism)
+	}
+	return nil
+}
+
+// Fingerprint renders the behavior-affecting part of the configuration as
+// a canonical string: which lexicon (the embedded default, or an 8-byte
+// digest of a custom one), whether the matcher and the instance rules run,
+// the consistency-level cap and the frequency cutoff. Two configurations
+// with the same fingerprint make Integrate behave identically on any
+// input. Parallelism and Observer do not participate: they cannot change
+// the labeling, only how fast it is computed and what is reported about it.
+func (c Config) Fingerprint() string {
+	lex := "default"
+	if c.Lexicon != nil {
+		if data, err := c.Lexicon.EncodeJSON(); err == nil {
+			sum := sha256.Sum256(data)
+			lex = hex.EncodeToString(sum[:8])
+		} else {
+			lex = "custom"
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "lexicon=%s matcher=%t instances=%t maxLevel=%d minFreq=%d",
+		lex, c.UseMatcher, !c.DisableInstances, c.MaxLevel, c.MinFrequency)
+	return b.String()
+}
+
+// Option configures Integrate. Each option writes one Config field; see
+// Config for the full inventory and defaults.
+type Option func(*Config)
+
+// WithConfig replaces the whole configuration with c. Later options still
+// apply on top of it.
+func WithConfig(c Config) Option { return func(dst *Config) { *dst = c } }
+
 // WithLexicon supplies a custom lexical knowledge base.
-func WithLexicon(l *Lexicon) Option { return func(c *config) { c.lexicon = l } }
+func WithLexicon(l *Lexicon) Option { return func(c *Config) { c.Lexicon = l } }
 
 // WithMatcher recomputes the field clusters from labels and instances
 // instead of trusting the sources' cluster annotations.
-func WithMatcher() Option { return func(c *config) { c.useMatcher = true } }
+func WithMatcher() Option { return func(c *Config) { c.UseMatcher = true } }
 
 // WithoutInstances disables the instance-based inference rules (LI 6 and
 // LI 7 of the paper).
-func WithoutInstances() Option { return func(c *config) { c.noInstances = true } }
+func WithoutInstances() Option { return func(c *Config) { c.DisableInstances = true } }
 
 // WithMaxLevel caps the consistency levels the group solver tries:
 // 1 = plain string equality only, 2 = +content-word equality,
 // 3 = +synonymy (the default). Used for ablation studies.
 func WithMaxLevel(level int) Option {
-	return func(c *config) { c.maxLevel = naming.Level(level) }
+	return func(c *Config) { c.MaxLevel = level }
 }
 
 // WithMinFrequency drops fields appearing on fewer than n source
@@ -113,7 +198,18 @@ func WithMaxLevel(level int) Option {
 // frequency 1 ("too specific to be included in the global interface");
 // pruning them implements the improvement §7 proposes.
 func WithMinFrequency(n int) Option {
-	return func(c *config) { c.minFreq = n }
+	return func(c *Config) { c.MinFrequency = n }
+}
+
+// WithParallelism bounds the worker pool of the parallel pipeline stages
+// (0 = GOMAXPROCS, 1 = serial). Never affects the resulting labeling.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithObserver installs a per-stage observer; see StageEvent.
+func WithObserver(fn func(StageEvent)) Option {
+	return func(c *Config) { c.Observer = fn }
 }
 
 // Result is the outcome of integrating and labeling a set of interfaces.
@@ -140,14 +236,43 @@ type Result struct {
 
 // Integrate matches (if requested), merges and labels the given source
 // interfaces, returning the labeled integrated interface. The sources are
-// deep-copied; the inputs are never modified.
+// deep-copied; the inputs are never modified. Integrate is
+// IntegrateContext with a background context.
 func Integrate(sources []*Tree, opts ...Option) (*Result, error) {
+	return IntegrateContext(context.Background(), sources, opts...)
+}
+
+// IntegrateContext runs the pipeline under a context: cancellation
+// checkpoints inside every stage — per matcher row, per merge union step,
+// per solver group and per internal node — make the computation return
+// ctx.Err() promptly once the context is canceled or its deadline passes,
+// freeing the calling worker instead of burning it on an abandoned
+// request. The embarrassingly-parallel stages fan out over
+// Config.Parallelism workers; parallel and serial runs produce identical
+// results. A nil ctx is treated as context.Background().
+func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(sources) == 0 {
 		return nil, errors.New("qilabel: no source interfaces")
 	}
-	var cfg config
+	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stageStart := time.Now()
+	stageDone := func(stage string, units int) {
+		if cfg.Observer != nil {
+			cfg.Observer(StageEvent{Stage: stage, Units: units, Duration: time.Since(stageStart)})
+		}
+		stageStart = time.Now()
 	}
 
 	trees := make([]*schema.Tree, len(sources))
@@ -157,36 +282,48 @@ func Integrate(sources []*Tree, opts ...Option) (*Result, error) {
 		}
 		trees[i] = s.Clone()
 	}
-
-	sem := naming.NewSemantics(cfg.lexicon)
 	cluster.ExpandOneToMany(trees)
-	if cfg.useMatcher {
+	stageDone("validate", len(sources))
+
+	if cfg.UseMatcher {
 		// After expansion, so matcher-assigned clusters replace every
 		// annotation uniformly (including the expanded 1:m children).
-		match.Assign(trees, match.Options{Semantics: sem})
+		sem := naming.NewSemantics(cfg.Lexicon)
+		n, err := match.AssignContext(ctx, trees, match.Options{
+			Semantics:   sem,
+			Parallelism: cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stageDone("match", n)
 	}
 	m, err := cluster.FromTrees(trees)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.minFreq > 1 {
-		m = pruneRareClusters(trees, m, cfg.minFreq)
+	if cfg.MinFrequency > 1 {
+		m = pruneRareClusters(trees, m, cfg.MinFrequency)
 	}
 	if len(m.Clusters) == 0 {
 		return nil, errors.New("qilabel: no clusters; annotate the sources or use WithMatcher")
 	}
-	mr, err := merge.Merge(trees, m)
+	mr, err := merge.MergeContext(ctx, trees, m)
 	if err != nil {
 		return nil, err
 	}
-	nres, err := naming.Run(mr, naming.Options{
-		Lexicon:          cfg.lexicon,
-		MaxLevel:         cfg.maxLevel,
-		DisableInstances: cfg.noInstances,
+	stageDone("merge", len(m.Clusters))
+
+	nres, err := naming.RunContext(ctx, mr, naming.Options{
+		Lexicon:          cfg.Lexicon,
+		MaxLevel:         naming.Level(cfg.MaxLevel),
+		DisableInstances: cfg.DisableInstances,
+		Parallelism:      cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
+	stageDone("naming", len(nres.Groups)+len(nres.Nodes))
 
 	res := &Result{
 		Tree:   mr.Tree,
@@ -194,7 +331,7 @@ func Integrate(sources []*Tree, opts ...Option) (*Result, error) {
 		Labels: make(map[string]string, len(m.Clusters)),
 		Merge:  mr,
 		Naming: nres,
-		lex:    cfg.lexicon,
+		lex:    cfg.Lexicon,
 	}
 	for _, c := range m.Clusters {
 		if leaf := mr.LeafOf[c.Name]; leaf != nil {
@@ -231,30 +368,16 @@ func pruneRareClusters(trees []*schema.Tree, m *cluster.Mapping, minFreq int) *c
 }
 
 // Fingerprint renders the effective configuration the given options
-// produce as a canonical string: which lexicon (the embedded default, or
-// an 8-byte digest of a custom one), whether the matcher and the instance
-// rules run, the consistency-level cap and the frequency cutoff. Two
-// option lists with the same fingerprint make Integrate behave
-// identically on any input, so the fingerprint (together with a canonical
-// hash of the sources, see CacheKey) is a sound cache key component.
+// produce as a canonical string. It is exactly Config.Fingerprint over the
+// Config the options build — the single definition both share, so the two
+// can never drift — and, together with a canonical hash of the sources
+// (see CacheKey), a sound cache key component.
 func Fingerprint(opts ...Option) string {
-	var cfg config
+	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	lex := "default"
-	if cfg.lexicon != nil {
-		if data, err := cfg.lexicon.EncodeJSON(); err == nil {
-			sum := sha256.Sum256(data)
-			lex = hex.EncodeToString(sum[:8])
-		} else {
-			lex = "custom"
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "lexicon=%s matcher=%t instances=%t maxLevel=%d minFreq=%d",
-		lex, cfg.useMatcher, !cfg.noInstances, int(cfg.maxLevel), cfg.minFreq)
-	return b.String()
+	return cfg.Fingerprint()
 }
 
 // CacheKey returns a deterministic key identifying an Integrate call: the
@@ -282,6 +405,11 @@ func (r *Result) Summary() string { return r.Naming.Summary() }
 // remained unlabeled.
 func (r *Result) Explain() string { return r.Naming.Explain() }
 
+// Violation is one failed Verify check: the offending node, the violated
+// rule (naming.RuleGenerality or naming.RuleHomonym) and a human-readable
+// detail string. It implements fmt.Stringer.
+type Violation = naming.Violation
+
 // Verify re-checks the labeled tree's vertical-consistency invariants —
 // ancestor titles at least as general as descendants', no same-named
 // siblings — and returns the violations (empty on a sound labeling). The
@@ -289,7 +417,14 @@ func (r *Result) Explain() string { return r.Naming.Explain() }
 // that post-edit the tree. Verification uses the same lexicon the result
 // was built with, so a labeling assisted by a custom lexicon is checked
 // against those semantics rather than the weaker default.
-func (r *Result) Verify() []string {
+func (r *Result) Verify() []Violation {
+	return r.Naming.VerifyViolations(naming.NewSemantics(r.lex))
+}
+
+// VerifyStrings is Verify rendered as the historical plain-string
+// messages, kept so text-oriented consumers (scripts scraping labeler
+// output) see unchanged content.
+func (r *Result) VerifyStrings() []string {
 	return r.Naming.VerifyVertical(naming.NewSemantics(r.lex))
 }
 
