@@ -1,0 +1,187 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, the format of the repo's committed perf-trajectory artifacts
+// (BENCH_pr*.json) and of the CI bench step's uploaded artifact:
+//
+//	go test -run=NONE -bench=. -benchtime=3x -count=3 . | benchjson \
+//	    -baseline 'BenchmarkIntegrate/serial=88010000' -o BENCH.json
+//
+// Repeated samples of one benchmark (from -count) are aggregated into mean
+// and minimum ns/op. Each -baseline name=ns flag (repeatable) emits a
+// speedup entry comparing the named benchmark's mean against a recorded
+// earlier measurement, so successive PRs can track the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MinNsPerOp  float64 `json:"min_ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type speedup struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Ratio      float64 `json:"ratio"`
+}
+
+type document struct {
+	Tool       string      `json:"tool"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	Speedups   []speedup   `json:"speedups,omitempty"`
+}
+
+// benchLine matches one result line: name, iteration count, then
+// value/unit pairs ("ns/op", "B/op", "allocs/op", custom metrics).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// procSuffix strips the -N GOMAXPROCS suffix Go appends on multi-proc
+// runs, so samples aggregate under one name regardless of the machine.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "write the JSON document here (default stdout)")
+	baselines := map[string]float64{}
+	flag.Func("baseline", "name=ns_per_op of an earlier measurement (repeatable); emits a speedup entry", func(v string) error {
+		name, ns, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want name=ns, got %q", v)
+		}
+		f, err := strconv.ParseFloat(ns, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("bad ns value in %q", v)
+		}
+		baselines[name] = f
+		return nil
+	})
+	flag.Parse()
+
+	doc := document{Tool: "benchjson"}
+	samples := map[string][]sample{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		var s sample
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+			case "B/op":
+				s.bytesPerOp = v
+				s.hasMem = true
+			case "allocs/op":
+				s.allocsPerOp = v
+				s.hasMem = true
+			}
+		}
+		if s.nsPerOp == 0 {
+			continue
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(samples) == 0 {
+		log.Fatal("no benchmark results on stdin")
+	}
+
+	byName := map[string]benchmark{}
+	for _, name := range order {
+		ss := samples[name]
+		b := benchmark{Name: name, Samples: len(ss), MinNsPerOp: ss[0].nsPerOp}
+		for _, s := range ss {
+			b.NsPerOp += s.nsPerOp / float64(len(ss))
+			if s.nsPerOp < b.MinNsPerOp {
+				b.MinNsPerOp = s.nsPerOp
+			}
+			if s.hasMem {
+				b.BytesPerOp += s.bytesPerOp / float64(len(ss))
+				b.AllocsPerOp += s.allocsPerOp / float64(len(ss))
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+		byName[name] = b
+	}
+
+	var missing []string
+	for name, ns := range baselines {
+		b, ok := byName[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		doc.Speedups = append(doc.Speedups, speedup{
+			Name: name, BaselineNs: ns, NsPerOp: b.NsPerOp, Ratio: ns / b.NsPerOp,
+		})
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		log.Printf("warning: baseline %q has no measurement on stdin", name)
+	}
+	sort.Slice(doc.Speedups, func(i, j int) bool { return doc.Speedups[i].Name < doc.Speedups[j].Name })
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

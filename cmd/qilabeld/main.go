@@ -3,9 +3,16 @@
 //
 //	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s] [-parallelism N]
 //	         [-cache 128] [-max-body 8388608] [-lexicon extra.json]
+//	         [-pprof addr]
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain-timeout before closing the listener.
+//
+// -pprof starts a second listener (for example -pprof localhost:6060)
+// serving the net/http/pprof profiling endpoints under /debug/pprof/.
+// The profiler stays off the service listener so operators can expose the
+// API without also exposing heap dumps and CPU profiles; bind it to
+// localhost or a management network only.
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -65,6 +73,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		dbg := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("qilabeld: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("qilabeld: pprof listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofMux builds a mux with the net/http/pprof endpoints explicitly
+// registered. The pprof package's import side effect registers on
+// http.DefaultServeMux; the service handler never uses the default mux, so
+// the profiling surface exists only on the dedicated -pprof listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,80 @@
+package qilabel
+
+// Pipeline-level kernel-equivalence tests: the semantic-kernel
+// optimizations (compiled lexicon closures, shared analysis table, Relate
+// memoization, blocked matcher) must never change what the pipeline
+// computes, only how fast. Each layer is pinned exhaustively in its own
+// package; this test pins the composition end to end by running the public
+// pipeline against the unoptimized reference kernels.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOptimizedMatchesReference: for every builtin domain, with and without
+// the matcher, at serial and fanned-out parallelism, the optimized pipeline
+// must produce byte-identical output to the reference-kernel pipeline —
+// same labels, class, tree rendering and naming report.
+func TestOptimizedMatchesReference(t *testing.T) {
+	for _, domain := range BuiltinDomains() {
+		for _, matcher := range []bool{false, true} {
+			for _, par := range []int{1, 8} {
+				name := domain
+				if matcher {
+					name += "/matcher"
+				}
+				if par > 1 {
+					name += "/parallel"
+				}
+				t.Run(name, func(t *testing.T) {
+					sources, err := BuiltinDomain(domain)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := Config{UseMatcher: matcher, Parallelism: par}
+					ref := cfg
+					ref.referenceKernels = true
+					optimized, err := Integrate(sources, WithConfig(cfg))
+					if err != nil {
+						t.Fatal(err)
+					}
+					reference, err := Integrate(sources, WithConfig(ref))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(optimized.Labels, reference.Labels) {
+						t.Errorf("labels diverge:\noptimized: %v\nreference: %v",
+							optimized.Labels, reference.Labels)
+					}
+					if optimized.Class != reference.Class {
+						t.Errorf("class diverges: optimized %s, reference %s",
+							optimized.Class, reference.Class)
+					}
+					if optimized.Tree.String() != reference.Tree.String() {
+						t.Errorf("tree rendering diverges:\noptimized:\n%s\nreference:\n%s",
+							optimized.Tree, reference.Tree)
+					}
+					if !reflect.DeepEqual(optimized.Naming.Groups, reference.Naming.Groups) {
+						t.Errorf("group solutions diverge")
+					}
+					if !reflect.DeepEqual(optimized.Naming.Nodes, reference.Naming.Nodes) {
+						t.Errorf("internal-node labels diverge")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReferenceKernelsExcludedFromFingerprint: the reference switch cannot
+// change the output, so it must not change the fingerprint either.
+func TestReferenceKernelsExcludedFromFingerprint(t *testing.T) {
+	a := Config{UseMatcher: true}
+	b := a
+	b.referenceKernels = true
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint depends on referenceKernels: %q vs %q",
+			a.Fingerprint(), b.Fingerprint())
+	}
+}

@@ -1,0 +1,170 @@
+package lexicon
+
+import "sort"
+
+// compiled is the frozen query form of a Lexicon. Every vocabulary word is
+// interned to a dense int32 ID, and the two query predicates reduce to set
+// lookups:
+//
+//   - syn[w] holds the IDs of the words sharing at least one synset with w
+//     (w excluded), so Synonym is a single map probe;
+//   - hyper[w] holds the IDs of every word a with Hypernym(a, w) true — the
+//     transitive hypernym closure of w, expanded across synonym links
+//     exactly as the per-call breadth-first search resolves them.
+//
+// The tables are immutable once built and safe for concurrent readers; a
+// Lexicon mutation drops them and the next query recompiles.
+type compiled struct {
+	id    map[string]int32
+	syn   []map[int32]struct{}
+	hyper []map[int32]struct{}
+}
+
+// invalidate drops the compiled tables; called by every mutating method.
+func (l *Lexicon) invalidate() {
+	l.frozen.Store(nil)
+}
+
+// Compile freezes the current knowledge base into the constant-time query
+// tables and returns l for chaining. Queries compile lazily on first use,
+// so calling Compile is only needed to move the (one-off) compilation cost
+// out of a latency-sensitive path; Default ships precompiled.
+func (l *Lexicon) Compile() *Lexicon {
+	l.compile()
+	return l
+}
+
+// compile returns the compiled tables, building them under compileMu if a
+// mutation (or New) left them empty. Double-checked so concurrent readers
+// pay one compilation, not several.
+func (l *Lexicon) compile() *compiled {
+	if c := l.frozen.Load(); c != nil {
+		return c
+	}
+	l.compileMu.Lock()
+	defer l.compileMu.Unlock()
+	if c := l.frozen.Load(); c != nil {
+		return c
+	}
+	c := l.newCompiled()
+	l.frozen.Store(c)
+	return c
+}
+
+// newCompiled builds the query tables. The hypernym closure of each word is
+// computed by running the reference breadth-first walk (hypernymBFS's loop)
+// once from that word and recording every parent it would test against the
+// target set; a queried word a then matches if it — or one of its synonyms,
+// resolved through the same Synonyms redirection the walk uses — was
+// recorded. That inversion is precomputed too (targets index below), so the
+// closure sets answer Hypernym with one lookup while agreeing with the walk
+// verdict for verdict.
+func (l *Lexicon) newCompiled() *compiled {
+	words := make([]string, 0, len(l.vocab))
+	for w := range l.vocab {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	c := &compiled{
+		id:    make(map[string]int32, len(words)),
+		syn:   make([]map[int32]struct{}, len(words)),
+		hyper: make([]map[int32]struct{}, len(words)),
+	}
+	for i, w := range words {
+		c.id[w] = int32(i)
+	}
+
+	// Synonymy: co-membership in a synset, self excluded. Synset members
+	// are always vocabulary words.
+	for _, set := range l.members {
+		for _, a := range set {
+			ia := c.id[a]
+			for _, b := range set {
+				if a == b {
+					continue
+				}
+				if c.syn[ia] == nil {
+					c.syn[ia] = make(map[int32]struct{}, len(set))
+				}
+				c.syn[ia][c.id[b]] = struct{}{}
+			}
+		}
+	}
+
+	// targetsOf inverts the walk's target set: targetsOf[r] lists every
+	// word a whose targets ({a} ∪ Synonyms(a)) contain r. Synonyms applies
+	// the BaseForm redirection, matching the query-time target expansion.
+	targetsOf := make([][]int32, len(words))
+	for i, a := range words {
+		targetsOf[i] = append(targetsOf[i], int32(i))
+		for _, s := range l.Synonyms(a) {
+			if is, ok := c.id[s]; ok {
+				targetsOf[is] = append(targetsOf[is], int32(i))
+			}
+		}
+	}
+
+	for i, w := range words {
+		set := make(map[int32]struct{})
+		for _, r := range l.reachableParents(w) {
+			ir, ok := c.id[r]
+			if !ok {
+				continue // parents are vocabulary words by construction
+			}
+			for _, a := range targetsOf[ir] {
+				set[a] = struct{}{}
+			}
+		}
+		c.hyper[i] = set
+	}
+	return c
+}
+
+// reachableParents replays the reference hypernym walk from w and returns
+// every parent the walk tests against its target set — the words r with
+// "r is reached as a (transitive, synonym-crossing) hypernym of w". The
+// loop mirrors hypernymBFS exactly, including the depth bound and the
+// visited bookkeeping, so the closure can never diverge from the per-call
+// search.
+func (l *Lexicon) reachableParents(w string) []string {
+	var reached []string
+	seen := map[string]bool{}
+	visited := map[string]bool{}
+	frontier := append([]string{w}, l.Synonyms(w)...)
+	for depth := 0; depth < maxHypernymDepth && len(frontier) > 0; depth++ {
+		var next []string
+		for _, f := range frontier {
+			if visited[f] {
+				continue
+			}
+			visited[f] = true
+			for _, parent := range l.hypernyms[f] {
+				if !seen[parent] {
+					seen[parent] = true
+					reached = append(reached, parent)
+				}
+				if !visited[parent] {
+					next = append(next, parent)
+					next = append(next, l.Synonyms(parent)...)
+				}
+			}
+		}
+		frontier = next
+	}
+	return reached
+}
+
+// SynsetIDs returns the synset memberships of the word's base form, sorted.
+// The IDs are stable within one Lexicon instance (assignment order of
+// AddSynonyms) and identify the senses Synonym compares: two words are
+// synonyms exactly when their SynsetIDs intersect. The matcher uses them as
+// blocking keys; callers must not compare IDs across lexicon instances.
+func (l *Lexicon) SynsetIDs(word string) []int {
+	ids := l.synsets[l.BaseForm(word)]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,167 @@
+package lexicon
+
+import (
+	"testing"
+
+	"qilabel/internal/dataset"
+	"qilabel/internal/schema"
+	"qilabel/internal/token"
+)
+
+// domainWords collects every distinct base form appearing in the labels and
+// instances of the seven builtin evaluation domains — the vocabulary the
+// pipeline actually queries the kernel with — plus a few stressing inputs
+// (inflections, unknowns) that exercise the BaseForm fallbacks.
+func domainWords(t testing.TB, l *Lexicon) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	add := func(label string) {
+		for _, tok := range token.Tokenize(label) {
+			seen[l.BaseForm(tok)] = true
+		}
+	}
+	for _, d := range dataset.Domains() {
+		for _, tr := range d.Generate() {
+			tr.Root.Walk(func(n *schema.Node) bool {
+				add(n.Label)
+				for _, v := range n.Instances {
+					add(v)
+				}
+				return true
+			})
+		}
+	}
+	for _, w := range []string{"childrens", "children", "child", "locations", "widgetxyzs", "datas", ""} {
+		seen[w] = true
+	}
+	words := make([]string, 0, len(seen))
+	for w := range seen {
+		words = append(words, w)
+	}
+	return words
+}
+
+// TestCompiledMatchesUncompiled is the compiled-kernel contract: over every
+// pair of words the seven evaluation domains can produce, the compiled
+// Synonym and Hypernym must agree with the uncompiled reference scans. This
+// is the layer-1 half of the PR's "memoized vs not is byte-identical"
+// guarantee; the pipeline-level half lives in the root package tests.
+func TestCompiledMatchesUncompiled(t *testing.T) {
+	l := Default()
+	words := domainWords(t, l)
+	t.Logf("checking %d words (%d pairs)", len(words), len(words)*len(words))
+	for _, a := range words {
+		for _, b := range words {
+			ba, bb := l.BaseForm(a), l.BaseForm(b)
+			if got, want := l.Synonym(a, b), l.synonymScan(ba, bb); got != want {
+				t.Fatalf("Synonym(%q,%q) = %v, reference scan says %v", a, b, got, want)
+			}
+			if got, want := l.Hypernym(a, b), l.hypernymBFS(ba, bb); got != want {
+				t.Fatalf("Hypernym(%q,%q) = %v, reference BFS says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileInvalidation: mutating a compiled lexicon must drop the frozen
+// tables so later queries see the new knowledge.
+func TestCompileInvalidation(t *testing.T) {
+	l := New()
+	l.AddSynonyms("car", "auto")
+	if !l.Synonym("car", "auto") {
+		t.Fatal("fresh synonym not visible")
+	}
+	// The query above compiled the tables; the additions below must
+	// invalidate and recompile.
+	l.AddSynonyms("home", "house")
+	l.AddHypernym("vehicle", "car")
+	l.AddHypernym("machine", "vehicle")
+	if !l.Synonym("home", "house") {
+		t.Fatal("synonym added after compilation not visible")
+	}
+	if !l.Hypernym("machine", "car") {
+		t.Fatal("transitive hypernym added after compilation not visible")
+	}
+	if !l.Hypernym("machine", "auto") {
+		t.Fatal("hypernymy must cross the synonym link added before compilation")
+	}
+	l.AddIrregular("automata", "automaton")
+	if got := l.BaseForm("automata"); got != "automaton" {
+		t.Fatalf("BaseForm(automata) = %q after post-compile AddIrregular", got)
+	}
+	if l.Hypernym("car", "machine") {
+		t.Fatal("hypernym direction reversed")
+	}
+}
+
+// TestSynsetIDs pins the blocking contract the matcher relies on: two words
+// are synonyms exactly when their synset-ID sets intersect.
+func TestSynsetIDs(t *testing.T) {
+	l := Default()
+	words := domainWords(t, l)
+	intersects := func(a, b []int) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, a := range words {
+		for _, b := range words {
+			if l.BaseForm(a) == l.BaseForm(b) {
+				continue
+			}
+			shared := intersects(l.SynsetIDs(a), l.SynsetIDs(b))
+			if got := l.Synonym(a, b); got != shared {
+				t.Fatalf("Synonym(%q,%q)=%v but SynsetIDs intersection=%v", a, b, got, shared)
+			}
+		}
+	}
+}
+
+// TestDefaultPrecompiled: Default must return an instance whose tables are
+// already frozen, so the first pipeline query pays no compile latency.
+func TestDefaultPrecompiled(t *testing.T) {
+	if Default().frozen.Load() == nil {
+		t.Fatal("Default() lexicon is not precompiled")
+	}
+}
+
+// benchPairs yields a deterministic word-pair workload mixing hits, misses
+// and deep hierarchy walks.
+func benchPairs(b *testing.B, l *Lexicon) [][2]string {
+	words := domainWords(b, l)
+	var pairs [][2]string
+	for i := 0; i < len(words); i += 7 {
+		for j := 0; j < len(words); j += 13 {
+			pairs = append(pairs, [2]string{words[i], words[j]})
+		}
+	}
+	return pairs
+}
+
+// BenchmarkHypernymCompiled measures the compiled constant-time Hypernym.
+func BenchmarkHypernymCompiled(b *testing.B) {
+	l := Default()
+	pairs := benchPairs(b, l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		l.Hypernym(p[0], p[1])
+	}
+}
+
+// BenchmarkHypernymUncompiled measures the reference per-call BFS the
+// compiled tables replace.
+func BenchmarkHypernymUncompiled(b *testing.B) {
+	l := Default()
+	pairs := benchPairs(b, l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		l.hypernymBFS(l.BaseForm(p[0]), l.BaseForm(p[1]))
+	}
+}

@@ -9,9 +9,10 @@ var (
 
 // Default returns the embedded knowledge base shared by the whole pipeline.
 // The same instance is returned on every call; it must be treated as
-// read-only.
+// read-only. The instance is precompiled (see Compile), so the first query
+// on a fresh process pays no lazy-compilation latency.
 func Default() *Lexicon {
-	defaultOnce.Do(func() { defaultLex = build() })
+	defaultOnce.Do(func() { defaultLex = build().Compile() })
 	return defaultLex
 }
 

@@ -24,11 +24,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Lexicon is an in-memory lexical knowledge base. The zero value is unusable;
 // create instances with New or Default. A Lexicon is safe for concurrent
 // readers once construction is complete.
+//
+// Queries run against a compiled form of the knowledge base (interned word
+// IDs, precomputed synonym sets and transitive hypernym closures) that turns
+// Synonym and Hypernym into constant-time set lookups instead of per-call
+// graph searches. Compilation happens lazily on the first query after a
+// mutation (AddSynonyms, AddHypernym, ... invalidate it); Default returns a
+// precompiled instance. See compiled.go.
 type Lexicon struct {
 	// synset membership: word -> set ids (a word may have several senses).
 	synsets map[string][]int
@@ -40,6 +49,12 @@ type Lexicon struct {
 	irregular map[string]string
 	// vocabulary of all words known to the lexicon (lemma forms).
 	vocab map[string]bool
+
+	// frozen holds the compiled query tables (nil until compiled; reset to
+	// nil by every mutation). compileMu serializes lazy compilation when
+	// several readers race to the first query.
+	frozen    atomic.Pointer[compiled]
+	compileMu sync.Mutex
 }
 
 // New returns an empty lexicon ready to be populated with AddSynonyms,
@@ -59,6 +74,7 @@ func (l *Lexicon) AddSynonyms(words ...string) {
 	if len(words) == 0 {
 		return
 	}
+	l.invalidate()
 	id := len(l.members)
 	set := make([]string, 0, len(words))
 	for _, w := range words {
@@ -81,6 +97,7 @@ func (l *Lexicon) AddHypernym(parent, child string) {
 	if parent == "" || child == "" || parent == child {
 		return
 	}
+	l.invalidate()
 	l.hypernyms[child] = append(l.hypernyms[child], parent)
 	l.vocab[parent] = true
 	l.vocab[child] = true
@@ -93,6 +110,7 @@ func (l *Lexicon) AddIrregular(surface, lemma string) {
 	if surface == "" || lemma == "" {
 		return
 	}
+	l.invalidate()
 	l.irregular[surface] = lemma
 	l.vocab[lemma] = true
 }
@@ -159,6 +177,26 @@ func (l *Lexicon) Synonym(a, b string) bool {
 	if a == b {
 		return false
 	}
+	c := l.compile()
+	ia, ok := c.id[a]
+	if !ok {
+		return false // synset keys are always vocabulary words
+	}
+	ib, ok := c.id[b]
+	if !ok {
+		return false
+	}
+	_, shared := c.syn[ia][ib]
+	return shared
+}
+
+// synonymScan is the uncompiled reference implementation of Synonym: a
+// direct scan for a shared synset. Kept for the compiled/uncompiled
+// equivalence tests and benchmarks; inputs must already be base forms.
+func (l *Lexicon) synonymScan(a, b string) bool {
+	if a == b {
+		return false
+	}
 	sa, ok := l.synsets[a]
 	if !ok {
 		return false
@@ -208,6 +246,29 @@ const maxHypernymDepth = 16
 // A word is not its own hypernym.
 func (l *Lexicon) Hypernym(a, b string) bool {
 	a, b = l.BaseForm(a), l.BaseForm(b)
+	if a == b {
+		return false
+	}
+	c := l.compile()
+	ia, oka := c.id[a]
+	ib, okb := c.id[b]
+	if !oka || !okb {
+		// A base form outside the vocabulary (BaseForm's conservative
+		// plural strip) can still reach vocabulary words through the
+		// synonym redirection inside the search; fall back to the exact
+		// graph walk for these rare inputs.
+		return l.hypernymBFS(a, b)
+	}
+	_, ok := c.hyper[ib][ia]
+	return ok
+}
+
+// hypernymBFS is the uncompiled reference implementation of Hypernym: a
+// breadth-first search over the hypernym graph crossing synonym links.
+// Inputs must already be base forms. The compiled closure is built by
+// running exactly this walk once per vocabulary word (see compiled.go), and
+// the equivalence tests hold the two paths to identical verdicts.
+func (l *Lexicon) hypernymBFS(a, b string) bool {
 	if a == b {
 		return false
 	}

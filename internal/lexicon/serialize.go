@@ -84,6 +84,7 @@ func DecodeJSON(data []byte) (*Lexicon, error) {
 func (l *Lexicon) AddWord(w string) {
 	w = strings.ToLower(strings.TrimSpace(w))
 	if w != "" {
+		l.invalidate()
 		l.vocab[w] = true
 	}
 }

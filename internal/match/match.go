@@ -14,6 +14,15 @@
 //     of their values (the WebIQ-style signal, usable even for unlabeled
 //     fields).
 //
+// The pairwise pass is blocked: every field is assigned a set of block
+// keys derived from the same normalizations the two signals compare
+// (display form, content-word stems and base forms, synset IDs, instance
+// values), and only pairs sharing at least one key reach the full
+// similarity evaluation. Each key family mirrors one way a pair can
+// match, so blocking prunes only pairs that could never match and the
+// output is identical to the exhaustive O(F²) pass (pinned by
+// TestBlockedMatchesUnblocked).
+//
 // The evaluation benches use ground-truth clusters, as the paper does, so
 // matcher noise cannot pollute the labeling results; the matcher exists
 // for end-to-end runs over raw input.
@@ -22,7 +31,10 @@ package match
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
+	"unicode"
 
 	"qilabel/internal/naming"
 	"qilabel/internal/pool"
@@ -43,6 +55,20 @@ type Options struct {
 	// deterministic at any setting: matched pairs are collected per row and
 	// union order never changes the connected components.
 	Parallelism int
+	// DisableBlocking forces the exhaustive pairwise pass instead of the
+	// block-key candidate index. The output is identical either way; the
+	// exhaustive pass exists as the reference for equivalence tests and
+	// benchmarks.
+	DisableBlocking bool
+}
+
+// fieldInfo is one leaf of the source trees with the normalizations the
+// similarity signals need, computed once instead of per pair.
+type fieldInfo struct {
+	leaf  *schema.Node
+	iface string
+	label string          // trimmed label ("" when unusable)
+	inst  map[string]bool // case-folded, trimmed instance values
 }
 
 // Assign computes clusters for the leaves of the given trees and writes
@@ -70,36 +96,96 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 		prefix = "m"
 	}
 
-	type field struct {
-		leaf  *schema.Node
-		iface string
-	}
-	var fields []field
+	var fields []fieldInfo
 	for _, t := range trees {
 		for _, leaf := range t.Leaves() {
-			fields = append(fields, field{leaf, t.Interface})
+			f := fieldInfo{leaf: leaf, iface: t.Interface,
+				label: strings.TrimSpace(leaf.Label)}
+			if len(leaf.Instances) > 0 {
+				f.inst = make(map[string]bool, len(leaf.Instances))
+				for _, v := range leaf.Instances {
+					f.inst[strings.ToLower(strings.TrimSpace(v))] = true
+				}
+			}
+			fields = append(fields, f)
+		}
+	}
+
+	// The shared analysis table normalizes every field label once; each
+	// worker's Semantics reads it instead of re-analyzing into a cold
+	// cache. The reference pass skips it (and the block-key index) so it
+	// stays a true pre-optimization baseline.
+	var analysis *naming.Analysis
+	var keys [][]string
+	var index map[string][]int
+	if !opts.DisableBlocking {
+		labels := make([]string, 0, len(fields))
+		for i := range fields {
+			if fields[i].label != "" {
+				labels = append(labels, fields[i].label)
+			}
+		}
+		analysis = naming.PrecomputeAnalysis(sem.Lexicon(), labels)
+
+		// Block-key index: key -> fields carrying it, in index order.
+		keySem := analysis.Semantics()
+		keys = make([][]string, len(fields))
+		index = make(map[string][]int)
+		for i := range fields {
+			keys[i] = blockKeys(keySem, &fields[i], opts.MinInstanceOverlap)
+			for _, k := range keys[i] {
+				index[k] = append(index[k], i)
+			}
 		}
 	}
 
 	// Pairwise similarity, one row per field: row i records every j > i it
 	// matches. Rows are independent, so they fan out over the worker pool;
-	// each worker carries its own Semantics (the label-analysis cache is not
-	// concurrency-safe) over the same lexicon, which cannot change any
-	// verdict — only its speed.
+	// each worker carries its own Semantics (the Relate memo is not
+	// concurrency-safe) over the shared analysis table, which cannot change
+	// any verdict — only its speed.
 	workers := pool.Workers(opts.Parallelism)
 	sems := make([]*naming.Semantics, workers)
 	sems[0] = sem // the serial path reuses the caller's cache
 	matches := make([][]int, len(fields))
 	err := pool.ForEach(ctx, workers, len(fields), func(w, i int) {
 		if sems[w] == nil {
-			sems[w] = naming.NewSemantics(sem.Lexicon())
+			if analysis != nil {
+				sems[w] = analysis.Semantics()
+			} else {
+				sems[w] = naming.NewSemanticsUnmemoized(sem.Lexicon())
+			}
 		}
-		for j := i + 1; j < len(fields); j++ {
-			// Fields of the same interface never match each other.
-			if fields[i].iface == fields[j].iface {
+		fi := &fields[i]
+		if opts.DisableBlocking {
+			for j := i + 1; j < len(fields); j++ {
+				// Fields of the same interface never match each other.
+				if fields[j].iface == fi.iface {
+					continue
+				}
+				if matchFields(sems[w], fi, &fields[j], opts.MinInstanceOverlap) {
+					matches[i] = append(matches[i], j)
+				}
+			}
+			return
+		}
+		// Candidates: fields after i sharing at least one block key,
+		// deduplicated and in ascending order so the matched set comes out
+		// exactly as the exhaustive scan would produce it.
+		var cand []int
+		for _, k := range keys[i] {
+			for _, j := range index[k] {
+				if j > i && fields[j].iface != fi.iface {
+					cand = append(cand, j)
+				}
+			}
+		}
+		sort.Ints(cand)
+		for c, j := range cand {
+			if c > 0 && cand[c-1] == j {
 				continue
 			}
-			if fieldsMatch(sems[w], fields[i].leaf, fields[j].leaf, opts.MinInstanceOverlap) {
+			if matchFields(sems[w], fi, &fields[j], opts.MinInstanceOverlap) {
 				matches[i] = append(matches[i], j)
 			}
 		}
@@ -166,21 +252,107 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 	return next - 1, nil
 }
 
-// fieldsMatch evaluates the two similarity signals.
-func fieldsMatch(sem *naming.Semantics, a, b *schema.Node, minOverlap float64) bool {
-	la, lb := strings.TrimSpace(a.Label), strings.TrimSpace(b.Label)
-	if la != "" && lb != "" && sem.Equivalent(la, lb) {
+// blockKeys derives the block keys of a field. Each key family mirrors one
+// way matchFields can fire, so two fields that match always share a key:
+//
+//   - "d:" display form — the string-equal relation compares display forms
+//     case-insensitively, so string-equal fields share the folded form;
+//   - "s:" stem and "b:" base of every content word — the equal and synonym
+//     relations align every word of one label with a word of the other, and
+//     an aligned pair agrees on stem, base, or synset, so the first word of
+//     either label puts a shared key on both fields;
+//   - "y:" synset IDs of every content word — the synonymy half of that
+//     alignment: two bases are synonyms exactly when their synset-ID sets
+//     intersect (pinned by lexicon's TestSynsetIDs);
+//   - "v:" instance values — Jaccard overlap above a positive threshold
+//     needs at least one shared normalized value;
+//   - "i:*" — with a non-positive threshold any two instance-carrying
+//     fields pass the overlap test, so they all share the universal key.
+func blockKeys(sem *naming.Semantics, f *fieldInfo, minOverlap float64) []string {
+	var keys []string
+	if f.label != "" {
+		if d := sem.DisplayForm(f.label); d != "" {
+			keys = append(keys, "d:"+foldKey(d))
+		}
+		for _, w := range sem.LabelWords(f.label) {
+			keys = append(keys, "s:"+w.Stem, "b:"+w.Base)
+			for _, id := range sem.Lexicon().SynsetIDs(w.Base) {
+				keys = append(keys, "y:"+strconv.Itoa(id))
+			}
+		}
+	}
+	if len(f.inst) > 0 {
+		if minOverlap <= 0 {
+			keys = append(keys, "i:*")
+		} else {
+			for v := range f.inst {
+				keys = append(keys, "v:"+v)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return dedupSorted(keys)
+}
+
+// foldKey maps every rune to the smallest member of its case-folding orbit,
+// so two strings are strings.EqualFold exactly when their foldKeys are
+// byte-equal (ToLower is not enough: 'σ' and 'ς' fold together but lower-case
+// differently).
+func foldKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		least := r
+		for f := unicode.SimpleFold(r); f != r; f = unicode.SimpleFold(f) {
+			if f < least {
+				least = f
+			}
+		}
+		return least
+	}, s)
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// matchFields evaluates the two similarity signals on precomputed fields.
+func matchFields(sem *naming.Semantics, a, b *fieldInfo, minOverlap float64) bool {
+	if a.label != "" && b.label != "" && sem.Equivalent(a.label, b.label) {
 		return true
 	}
-	if len(a.Instances) > 0 && len(b.Instances) > 0 {
-		if jaccard(a.Instances, b.Instances) >= minOverlap {
+	if len(a.inst) > 0 && len(b.inst) > 0 {
+		if jaccardSets(a.inst, b.inst) >= minOverlap {
 			return true
 		}
 	}
 	return false
 }
 
-// jaccard computes case-insensitive Jaccard similarity of two value sets.
+// jaccardSets computes Jaccard similarity of two pre-normalized value sets.
+func jaccardSets(a, b map[string]bool) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	inter := 0
+	for v := range a {
+		if b[v] {
+			inter++
+		}
+	}
+	unionSize := len(a) + len(b) - inter
+	if unionSize == 0 {
+		return 0
+	}
+	return float64(inter) / float64(unionSize)
+}
+
+// jaccard computes case-insensitive Jaccard similarity of two raw value
+// slices (the normalization matchFields precomputes into fieldInfo.inst).
 func jaccard(a, b []string) float64 {
 	setA := make(map[string]bool, len(a))
 	for _, v := range a {
@@ -190,17 +362,7 @@ func jaccard(a, b []string) float64 {
 	for _, v := range b {
 		setB[strings.ToLower(strings.TrimSpace(v))] = true
 	}
-	inter := 0
-	for v := range setA {
-		if setB[v] {
-			inter++
-		}
-	}
-	unionSize := len(setA) + len(setB) - inter
-	if unionSize == 0 {
-		return 0
-	}
-	return float64(inter) / float64(unionSize)
+	return jaccardSets(setA, setB)
 }
 
 // Quality compares matcher-assigned clusters against ground truth,

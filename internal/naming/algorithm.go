@@ -58,6 +58,13 @@ type Options struct {
 	// nodes are solved independently, so the setting cannot change the
 	// labeling — every unit's outcome is a pure function of its input.
 	Parallelism int
+	// DisableMemo switches every worker to the unmemoized reference
+	// kernel: no shared label-analysis table, no Relate memo (each worker
+	// re-analyzes labels into a cold private cache, as before the kernel
+	// compilation). Verdicts are pure functions of the labels and lexicon,
+	// so this can only change speed, never output — the equivalence tests
+	// run both ways to enforce exactly that. Diagnostics/tests only.
+	DisableMemo bool
 }
 
 // GroupReport records the solving of one group.
@@ -145,7 +152,17 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	if mr == nil || mr.Tree == nil {
 		return nil, errors.New("naming: nil merge result")
 	}
-	sem := NewSemantics(opts.Lexicon)
+	// Analyze every source label once into an immutable table shared
+	// read-only by all pool workers, instead of each worker rebuilding its
+	// own cold cache. Labels the passes synthesize later still fall back to
+	// the per-worker cache, so the table is a pure accelerator.
+	var shared *Analysis
+	newSem := func() *Semantics { return NewSemanticsUnmemoized(opts.Lexicon) }
+	if !opts.DisableMemo {
+		shared = PrecomputeAnalysis(opts.Lexicon, sourceLabels(mr.Sources))
+		newSem = shared.Semantics
+	}
+	sem := newSem()
 	sopts := SolverOptions{
 		MaxLevel:     opts.MaxLevel,
 		UseInstances: !opts.DisableInstances,
@@ -158,7 +175,7 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	sems[0] = sem // the serial path reuses the main analysis cache
 	semFor := func(w int) *Semantics {
 		if sems[w] == nil {
-			sems[w] = NewSemantics(opts.Lexicon)
+			sems[w] = newSem()
 		}
 		return sems[w]
 	}
@@ -251,6 +268,21 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	// ---- Classification (Definition 8). -------------------------------------
 	res.Class = classify(res)
 	return res, nil
+}
+
+// sourceLabels collects every node label of the source trees — the label
+// universe the passes draw from — for the shared analysis table.
+func sourceLabels(sources []*schema.Tree) []string {
+	var labels []string
+	for _, t := range sources {
+		t.Root.Walk(func(n *schema.Node) bool {
+			if n.Label != "" {
+				labels = append(labels, n.Label)
+			}
+			return true
+		})
+	}
+	return labels
 }
 
 func clusterNames(g []*cluster.Cluster) []string {

@@ -63,22 +63,6 @@ func BenchmarkSolveGroup(b *testing.B) {
 	}
 }
 
-// BenchmarkRelate measures Definition 1 evaluation with a warm cache.
-func BenchmarkRelate(b *testing.B) {
-	sem := NewSemantics(nil)
-	pairs := [][2]string{
-		{"Preferred Airline", "Airline Preference"},
-		{"Area of Study", "Field of Work"},
-		{"Class", "Class of Tickets"},
-		{"Departing from", "Going to"},
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		p := pairs[i%len(pairs)]
-		sem.Relate(p[0], p[1])
-	}
-}
-
 // BenchmarkPartitions measures the graph-closure partitioning (§4.1.1).
 func BenchmarkPartitions(b *testing.B) {
 	mr := corpusMerge(b, "Hotels")

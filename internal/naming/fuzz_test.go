@@ -4,7 +4,8 @@ import "testing"
 
 // FuzzRelate drives Definition 1 with arbitrary label pairs: Relate must
 // never panic and must keep its algebraic guarantees — reflexivity to
-// string equality, and hypernym/hyponym duality — for any input.
+// string equality, hypernym/hyponym duality, and memoized/unmemoized
+// agreement — for any input.
 func FuzzRelate(f *testing.F) {
 	seeds := [][2]string{
 		{"From", "From"},
@@ -21,6 +22,7 @@ func FuzzRelate(f *testing.F) {
 		f.Add(s[0], s[1])
 	}
 	sem := NewSemantics(nil)
+	ref := NewSemanticsUnmemoized(nil)
 	f.Fuzz(func(t *testing.T, a, b string) {
 		// Guard against pathological content-word counts blowing up the
 		// synonym matching; real labels have at most a handful of words.
@@ -29,6 +31,9 @@ func FuzzRelate(f *testing.F) {
 		}
 		ab := sem.Relate(a, b)
 		ba := sem.Relate(b, a)
+		if want := ref.Relate(a, b); ab != want {
+			t.Errorf("memoized Relate(%q,%q)=%v, unmemoized says %v", a, b, ab, want)
+		}
 		switch ab {
 		case RelStringEqual, RelEqual, RelSynonym, RelNone:
 			if ba != ab {

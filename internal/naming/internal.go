@@ -350,7 +350,7 @@ func fieldContentWords(s *Semantics, m *cluster.Mapping, set map[string]bool) []
 			words = append(words, s.ContentWords(l)...)
 		}
 	}
-	sortStrings(words)
+	sort.Strings(words)
 	return dedupSorted(words)
 }
 

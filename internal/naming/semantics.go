@@ -23,6 +23,7 @@
 package naming
 
 import (
+	"sort"
 	"strings"
 
 	"qilabel/internal/lexicon"
@@ -89,11 +90,69 @@ type labelWords struct {
 	conjunction bool
 }
 
+// Analysis is an immutable label-analysis table: the two-step normalization
+// of a fixed label set, computed once and then shared read-only. Unlike a
+// Semantics (whose lazily-filled cache is single-goroutine), an Analysis is
+// safe for any number of concurrent readers, so one table built at the start
+// of a pipeline run serves every pool worker instead of each worker
+// re-analyzing the same labels into its own cold cache. Each label also
+// receives a dense ID used to intern Relate memo keys.
+type Analysis struct {
+	lex     *lexicon.Lexicon
+	byLabel map[string]*labelWords
+	ids     map[string]int32
+}
+
+// PrecomputeAnalysis analyzes every distinct label in labels over the given
+// lexicon (nil: the default embedded lexicon) into a shared table.
+func PrecomputeAnalysis(lex *lexicon.Lexicon, labels []string) *Analysis {
+	if lex == nil {
+		lex = lexicon.Default()
+	}
+	a := &Analysis{
+		lex:     lex,
+		byLabel: make(map[string]*labelWords, len(labels)),
+		ids:     make(map[string]int32, len(labels)),
+	}
+	for _, l := range labels {
+		if _, ok := a.byLabel[l]; ok {
+			continue
+		}
+		a.byLabel[l] = analyzeLabel(lex, l)
+		a.ids[l] = int32(len(a.ids))
+	}
+	return a
+}
+
+// Semantics returns a fresh Semantics backed by this table: analyses of
+// table labels are shared (no per-worker recomputation), labels outside the
+// table fall back to a worker-local cache. Each worker of a parallel stage
+// calls this once; the returned Semantics is still NOT safe for concurrent
+// use, only the underlying table is.
+func (a *Analysis) Semantics() *Semantics {
+	s := NewSemantics(a.lex)
+	s.shared = a
+	return s
+}
+
+// relMemoLimit bounds the per-Semantics memo of Relate verdicts. When the
+// memo fills (pathological workloads with unbounded distinct label pairs)
+// it is reset rather than grown, keeping long-lived Semantics — the
+// long-running server's verify path, REPL-style callers — at a flat memory
+// ceiling of ~2 MiB while staying maximally warm for the group solver's
+// quadratic access patterns.
+const relMemoLimit = 1 << 17
+
 // Semantics evaluates Definition 1's relationships using a lexicon. It
-// caches label analyses; a Semantics is NOT safe for concurrent use.
+// caches label analyses and memoizes Relate verdicts; a Semantics is NOT
+// safe for concurrent use (share an Analysis across workers instead).
 type Semantics struct {
-	lex   *lexicon.Lexicon
-	cache map[string]*labelWords
+	lex    *lexicon.Lexicon
+	shared *Analysis // optional read-only table (nil: none)
+	cache  map[string]*labelWords
+	ids    map[string]int32 // local label IDs, offset past the shared table's
+	memo   map[uint64]Rel   // Relate verdicts keyed by interned label-pair IDs
+	noMemo bool
 }
 
 // NewSemantics creates a Semantics over the given lexicon (nil means the
@@ -102,27 +161,58 @@ func NewSemantics(lex *lexicon.Lexicon) *Semantics {
 	if lex == nil {
 		lex = lexicon.Default()
 	}
-	return &Semantics{lex: lex, cache: make(map[string]*labelWords)}
+	return &Semantics{
+		lex:   lex,
+		cache: make(map[string]*labelWords),
+		ids:   make(map[string]int32),
+		memo:  make(map[uint64]Rel),
+	}
+}
+
+// NewSemanticsUnmemoized creates a Semantics whose Relate recomputes every
+// verdict from scratch — the reference path the equivalence tests and the
+// cold-kernel benchmarks compare the memoized path against.
+func NewSemanticsUnmemoized(lex *lexicon.Lexicon) *Semantics {
+	s := NewSemantics(lex)
+	s.noMemo = true
+	return s
 }
 
 // Lexicon returns the lexicon the semantics consults.
 func (s *Semantics) Lexicon() *lexicon.Lexicon { return s.lex }
 
-// analyze computes (and caches) the two-step normalization of a label.
+// analyze returns the two-step normalization of a label: from the shared
+// table when present, from the local cache otherwise.
 func (s *Semantics) analyze(label string) *labelWords {
+	if s.shared != nil {
+		if lw, ok := s.shared.byLabel[label]; ok {
+			return lw
+		}
+	}
 	if lw, ok := s.cache[label]; ok {
 		return lw
 	}
+	lw := analyzeLabel(s.lex, label)
+	s.cache[label] = lw
+	return lw
+}
+
+// analyzeLabel computes the two-step normalization of a label. The single
+// Tokenize pass serves both the conjunction scan and the content-word
+// derivation (Tokenize lower-cases internally, so tokenizing the raw label
+// equals tokenizing its lower-cased form).
+func analyzeLabel(lex *lexicon.Lexicon, label string) *labelWords {
 	lw := &labelWords{display: token.NormalizeDisplay(label)}
-	raw := strings.ToLower(label)
-	lw.conjunction = strings.ContainsAny(raw, "&/") ||
-		containsToken(raw, "and") || containsToken(raw, "or")
+	lw.conjunction = strings.ContainsAny(label, "&/")
 	seen := make(map[string]bool)
 	for _, tok := range token.Tokenize(label) {
+		if tok == "and" || tok == "or" {
+			lw.conjunction = true
+		}
 		if token.IsStopWord(tok) {
 			continue
 		}
-		base := s.lex.BaseForm(tok)
+		base := lex.BaseForm(tok)
 		if token.IsStopWord(base) {
 			continue
 		}
@@ -133,17 +223,26 @@ func (s *Semantics) analyze(label string) *labelWords {
 		seen[st] = true
 		lw.words = append(lw.words, word{stem: st, base: base})
 	}
-	s.cache[label] = lw
 	return lw
 }
 
-func containsToken(lower, tok string) bool {
-	for _, t := range token.Tokenize(lower) {
-		if t == tok {
-			return true
+// labelID interns a label for the Relate memo key: shared-table labels use
+// their table ID, others get worker-local IDs offset past the table.
+func (s *Semantics) labelID(label string) int32 {
+	if s.shared != nil {
+		if id, ok := s.shared.ids[label]; ok {
+			return id
 		}
 	}
-	return false
+	if id, ok := s.ids[label]; ok {
+		return id
+	}
+	id := int32(len(s.ids))
+	if s.shared != nil {
+		id += int32(len(s.shared.ids))
+	}
+	s.ids[label] = id
+	return id
 }
 
 // ContentWordCount returns the number of content words of a label, the
@@ -160,8 +259,33 @@ func (s *Semantics) ContentWords(label string) []string {
 	for i, w := range lw.words {
 		out[i] = w.stem
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
+}
+
+// WordForm is one content word of a label in both normalized
+// representations of Definition 1: the Porter stem (equality comparisons)
+// and the lexical base form (the key into the synonymy/hypernymy lexicon).
+type WordForm struct {
+	Stem string
+	Base string
+}
+
+// LabelWords exposes the analyzed content words of a label in analysis
+// order. The matcher's blocking pass derives its block keys from them.
+func (s *Semantics) LabelWords(label string) []WordForm {
+	lw := s.analyze(label)
+	out := make([]WordForm, len(lw.words))
+	for i, w := range lw.words {
+		out[i] = WordForm{Stem: w.stem, Base: w.base}
+	}
+	return out
+}
+
+// DisplayForm returns normalization step one of a label — the display form
+// the string-equal relation compares case-insensitively.
+func (s *Semantics) DisplayForm(label string) string {
+	return s.analyze(label).display
 }
 
 // wordEqual: the tokens agree by stem or by base form.
@@ -181,7 +305,28 @@ func (s *Semantics) wordHypernym(a, b word) bool {
 
 // Relate computes the strongest Definition 1 relationship from a to b, in
 // the precedence order string-equal, equal, synonym, hypernym, hyponym.
+// Verdicts are memoized per label pair (bounded, see relMemoLimit): the
+// verdict is a pure function of the two labels and the lexicon, so the memo
+// can never change a result, only skip recomputing it. Callers must not
+// mutate the lexicon between Relate calls on one Semantics.
 func (s *Semantics) Relate(a, b string) Rel {
+	if s.noMemo {
+		return s.relate(a, b)
+	}
+	key := uint64(uint32(s.labelID(a)))<<32 | uint64(uint32(s.labelID(b)))
+	if r, ok := s.memo[key]; ok {
+		return r
+	}
+	r := s.relate(a, b)
+	if len(s.memo) >= relMemoLimit {
+		clear(s.memo)
+	}
+	s.memo[key] = r
+	return r
+}
+
+// relate is the unmemoized Definition 1 evaluation.
+func (s *Semantics) relate(a, b string) Rel {
 	la, lb := s.analyze(a), s.analyze(b)
 	if la.display != "" && strings.EqualFold(la.display, lb.display) {
 		return RelStringEqual
@@ -317,12 +462,4 @@ func (s *Semantics) AtLeastAsGeneral(a, b string) bool {
 		return true
 	}
 	return false
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

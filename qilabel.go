@@ -125,6 +125,14 @@ type Config struct {
 	// pipeline stage, synchronously on the calling goroutine. Excluded from
 	// Fingerprint and CacheKey.
 	Observer func(StageEvent)
+
+	// referenceKernels routes the pipeline through the unoptimized
+	// reference kernels: the matcher's exhaustive pairwise pass instead of
+	// the block-key index, and unmemoized Relate without the shared
+	// analysis table. Unexported and test-only — the kernel-equivalence
+	// tests pin the optimized pipeline against this path byte for byte. It
+	// cannot change the output, so it is excluded from Fingerprint.
+	referenceKernels bool
 }
 
 // Validate checks the configuration: MaxLevel must be 0–3, MinFrequency
@@ -289,9 +297,13 @@ func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Re
 		// After expansion, so matcher-assigned clusters replace every
 		// annotation uniformly (including the expanded 1:m children).
 		sem := naming.NewSemantics(cfg.Lexicon)
+		if cfg.referenceKernels {
+			sem = naming.NewSemanticsUnmemoized(cfg.Lexicon)
+		}
 		n, err := match.AssignContext(ctx, trees, match.Options{
-			Semantics:   sem,
-			Parallelism: cfg.Parallelism,
+			Semantics:       sem,
+			Parallelism:     cfg.Parallelism,
+			DisableBlocking: cfg.referenceKernels,
 		})
 		if err != nil {
 			return nil, err
@@ -319,6 +331,7 @@ func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Re
 		MaxLevel:         naming.Level(cfg.MaxLevel),
 		DisableInstances: cfg.DisableInstances,
 		Parallelism:      cfg.Parallelism,
+		DisableMemo:      cfg.referenceKernels,
 	})
 	if err != nil {
 		return nil, err
