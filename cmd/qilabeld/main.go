@@ -2,11 +2,19 @@
 // HTTP/JSON daemon (see internal/server for the endpoint reference):
 //
 //	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s] [-parallelism N]
-//	         [-cache 128] [-max-body 8388608] [-lexicon extra.json]
+//	         [-cache 128] [-cache-file path] [-cache-checkpoint 5m]
+//	         [-max-batch 64] [-max-body 8388608] [-lexicon extra.json]
 //	         [-pprof addr]
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain-timeout before closing the listener.
+//
+// -cache-file makes the integration-result cache survive restarts: the
+// daemon restores the snapshot at startup (a missing file is a cold
+// start; a corrupt or configuration-mismatched one is logged and
+// ignored), checkpoints it atomically every -cache-checkpoint, and writes
+// a final snapshot after the SIGTERM drain — so a previously computed
+// integration is a warm cache hit on the next boot.
 //
 // -pprof starts a second listener (for example -pprof localhost:6060)
 // serving the net/http/pprof profiling endpoints under /debug/pprof/.
@@ -37,6 +45,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size per pipeline computation (0 = GOMAXPROCS, 1 = serial); never changes results")
 	cacheSize := flag.Int("cache", 128, "integration-result LRU capacity in entries (negative disables)")
+	cacheFile := flag.String("cache-file", "", "persist the result cache to this file (restored at startup, checkpointed periodically, saved on shutdown); empty disables")
+	checkpoint := flag.Duration("cache-checkpoint", 5*time.Minute, "interval between periodic cache snapshots (needs -cache-file; 0 disables periodic checkpoints)")
+	maxBatch := flag.Int("max-batch", 64, "max items per /v1/integrate/batch request")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -49,6 +60,7 @@ func main() {
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		Parallelism:    *parallelism,
+		MaxBatchItems:  *maxBatch,
 	}
 	if *lexFile != "" {
 		data, err := os.ReadFile(*lexFile)
@@ -65,6 +77,15 @@ func main() {
 	}
 
 	srv := server.New(cfg)
+	if *cacheFile != "" {
+		switch n, err := srv.LoadCache(*cacheFile); {
+		case err != nil:
+			// Never fatal: a corrupt or stale snapshot means a cold start.
+			log.Printf("qilabeld: ignoring cache snapshot: %v", err)
+		case n > 0:
+			log.Printf("qilabeld: restored %d cached integrations from %s", n, *cacheFile)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -89,6 +110,23 @@ func main() {
 		defer dbg.Close()
 	}
 
+	if *cacheFile != "" && *checkpoint > 0 {
+		go func() {
+			tick := time.NewTicker(*checkpoint)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if _, err := srv.SaveCache(*cacheFile); err != nil {
+						log.Printf("qilabeld: cache checkpoint: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("qilabeld: listening on %s", *addr)
@@ -109,6 +147,15 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("qilabeld: %v", err)
+	}
+	if *cacheFile != "" {
+		// The drain is complete: every in-flight integration has finished
+		// and cached, so this final snapshot is the authoritative one.
+		if n, err := srv.SaveCache(*cacheFile); err != nil {
+			log.Printf("qilabeld: final cache snapshot: %v", err)
+		} else {
+			log.Printf("qilabeld: saved %d cached integrations to %s", n, *cacheFile)
+		}
 	}
 	fmt.Println("qilabeld: bye")
 }

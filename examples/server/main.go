@@ -4,12 +4,14 @@
 // system overview over HTTP: list the builtin corpora, integrate the
 // Airline domain (cold), integrate it again (warm — a pure cache hit that
 // skips match/merge/naming), translate a global query against the cached
-// integration, and read the runtime metrics.
+// integration, batch-integrate several corpora in one streamed call, and
+// read the runtime metrics.
 //
 //	go run ./examples/server
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -84,7 +86,52 @@ func main() {
 		fmt.Println()
 	}
 
-	// 5. Runtime metrics: counts, latency percentiles, cache hit/miss,
+	// 5. Batch-integrate several corpora in one call. Items are
+	// deduplicated by cache key (the two Airline items share one result —
+	// here a cache hit from step 2) and results stream back as NDJSON
+	// lines as they complete.
+	data, err := json.Marshal(map[string]any{
+		"parallelism": 2,
+		"items": []map[string]any{
+			{"domain": "Airline"},
+			{"domain": "Book"},
+			{"domain": "Airline"},
+			{"domain": "Job"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/integrate/batch", "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbatch integrate (streamed NDJSON):")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Done   bool   `json:"done"`
+			Index  int    `json:"index"`
+			Status string `json:"status"`
+			Class  string `json:"class"`
+			Items  int    `json:"items"`
+			Hits   int    `json:"hits"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatal(err)
+		}
+		if line.Done {
+			fmt.Printf("  summary: %d items, %d cache hits\n", line.Items, line.Hits)
+		} else {
+			fmt.Printf("  item %d: %-9s class=%s\n", line.Index, line.Status, line.Class)
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Runtime metrics: counts, latency percentiles, cache hit/miss,
 	// aggregated inference-rule firings.
 	var metrics struct {
 		Cache struct {

@@ -1,0 +1,61 @@
+package qilabel
+
+import (
+	"testing"
+
+	"qilabel/internal/schema"
+)
+
+// FuzzCacheKey pins the soundness properties the result cache, request
+// coalescing and snapshot persistence all lean on: equal inputs always
+// agree on one key, the key ignores source order, and distinct trees or
+// distinct effective options never collide.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("Adults", "c_Adult", "From", "c_From", 3, false)
+	f.Add("A", "c", "A", "c", 0, true)
+	f.Add("", "", "x", "", 7, true)
+	f.Add("Label with spaces", "c_1", "Läbel", "c_2", 1, false)
+	f.Fuzz(func(t *testing.T, label1, cluster1, label2, cluster2 string, maxLevel int, matcher bool) {
+		t1 := NewTree("a", NewField(label1, cluster1))
+		t2 := NewTree("b", NewField(label2, cluster2))
+		opts := []Option{WithMaxLevel(maxLevel)}
+		if matcher {
+			opts = append(opts, WithMatcher())
+		}
+
+		// Equal calls agree.
+		k := CacheKey([]*Tree{t1, t2}, opts...)
+		if k2 := CacheKey([]*Tree{t1, t2}, opts...); k2 != k {
+			t.Fatalf("same inputs, different keys: %s vs %s", k, k2)
+		}
+		// Listing order is irrelevant; one domain's source pool has one key.
+		if k2 := CacheKey([]*Tree{t2, t1}, opts...); k2 != k {
+			t.Fatalf("source order changed the key: %s vs %s", k, k2)
+		}
+		// Parallelism and observers change execution, never results, so
+		// they must not fragment the key space.
+		withExec := append(append([]Option(nil), opts...),
+			WithParallelism(8), WithObserver(func(StageEvent) {}))
+		if k2 := CacheKey([]*Tree{t1, t2}, withExec...); k2 != k {
+			t.Fatalf("execution-only options changed the key: %s vs %s", k, k2)
+		}
+
+		// Distinct inputs must not collide; equal inputs must not split.
+		// Both reduce to: keys agree exactly when tree hash and option
+		// fingerprint agree.
+		treesEqual := schema.HashTrees([]*Tree{t1}) == schema.HashTrees([]*Tree{t2})
+		kSelf := CacheKey([]*Tree{t1, t1}, opts...)
+		if treesEqual != (kSelf == k) {
+			t.Fatalf("treesEqual=%v but key match=%v for [t1,t1] vs [t1,t2]", treesEqual, kSelf == k)
+		}
+		otherOpts := []Option{WithMaxLevel(maxLevel + 1)}
+		if matcher {
+			otherOpts = append(otherOpts, WithMatcher())
+		}
+		fpDiffer := Fingerprint(opts...) != Fingerprint(otherOpts...)
+		kOther := CacheKey([]*Tree{t1, t2}, otherOpts...)
+		if fpDiffer == (kOther == k) {
+			t.Fatalf("fingerprints differ=%v but keys match=%v across option changes", fpDiffer, kOther == k)
+		}
+	})
+}

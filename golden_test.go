@@ -1,0 +1,100 @@
+package qilabel
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden corpus pins the full pipeline output — cache key, class,
+// every cluster label, the integrated tree rendering and the naming
+// summary — for all seven builtin evaluation domains. Any semantic drift
+// in match, merge or naming shows up as a readable diff against
+// testdata/golden/<domain>.json. Regenerate after an intentional change:
+//
+//	go test -run TestGoldenCorpus -update .
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden corpus files from current output")
+
+// goldenFile is the serialized form of one domain's pipeline output.
+type goldenFile struct {
+	Domain  string            `json:"domain"`
+	Key     string            `json:"key"`
+	Class   string            `json:"class"`
+	Labels  map[string]string `json:"labels"`
+	Tree    string            `json:"tree"`
+	Summary string            `json:"summary"`
+}
+
+// goldenPath maps a domain name to its corpus file: lowercase, spaces to
+// hyphens ("Real Estate" -> testdata/golden/real-estate.json).
+func goldenPath(domain string) string {
+	slug := strings.ReplaceAll(strings.ToLower(domain), " ", "-")
+	return filepath.Join("testdata", "golden", slug+".json")
+}
+
+// goldenFor runs the pipeline over one domain at the given parallelism and
+// serializes the result.
+func goldenFor(t *testing.T, domain string, parallelism int) []byte {
+	t.Helper()
+	sources, err := BuiltinDomain(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Integrate(sources, WithParallelism(parallelism))
+	if err != nil {
+		t.Fatalf("integrating %s: %v", domain, err)
+	}
+	data, err := json.MarshalIndent(goldenFile{
+		Domain:  domain,
+		Key:     CacheKey(sources),
+		Class:   res.Class.String(),
+		Labels:  res.Labels,
+		Tree:    res.Tree.String(),
+		Summary: res.Summary(),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenCorpus: for every builtin domain, the serial and parallel
+// pipelines must produce identical output, and that output must match the
+// checked-in golden file byte for byte. Run with -update to regenerate the
+// corpus after an intentional semantic change.
+func TestGoldenCorpus(t *testing.T) {
+	for _, domain := range BuiltinDomains() {
+		t.Run(domain, func(t *testing.T) {
+			serial := goldenFor(t, domain, 1)
+			parallel := goldenFor(t, domain, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("serial and parallel output diverge for %s:\nserial:\n%s\nparallel:\n%s",
+					domain, serial, parallel)
+			}
+
+			path := goldenPath(domain)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, serial, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(serial, want) {
+				t.Errorf("%s output diverges from golden corpus %s (regenerate with -update if intentional)\ngot:\n%s\nwant:\n%s",
+					domain, path, serial, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"qilabel"
+	"qilabel/internal/pool"
+)
+
+// POST /v1/integrate/batch: integrate many source-tree sets in one
+// request — the workload shape of form-integration pipelines that process
+// a whole domain's interfaces at a time rather than one interface per
+// call. The items are deduplicated by cache key before any work starts, so
+// a batch listing the same source pool twenty times runs the pipeline at
+// most once; the distinct items then fan out across the worker pool under
+// a per-batch parallelism budget, and each item's result streams back as
+// one NDJSON line the moment it completes (items finish out of order; the
+// index field identifies them). Errors are isolated per item: one
+// malformed tree set fails its own line, never the batch.
+
+type batchRequest struct {
+	// Items are the integrations to perform; each is a full
+	// /v1/integrate request body (sources or a builtin domain, plus
+	// options).
+	Items []integrateRequest `json:"items"`
+	// Parallelism bounds how many of the batch's distinct items integrate
+	// concurrently (a per-batch budget; items still queue for the server's
+	// global worker pool). Zero: the server's MaxInflight.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// batchItemResult is one streamed NDJSON line of the batch response.
+type batchItemResult struct {
+	// Index is the item's position in the request.
+	Index int `json:"index"`
+	// Status reports how the result was obtained: "hit" (result cache),
+	// "coalesced" (shared another request's — or another batch item's —
+	// in-flight run) or "computed" (this item's own pipeline run).
+	Status string `json:"status,omitempty"`
+	// Key is the cache key of the integration; pass it to /v1/translate.
+	Key    string            `json:"key,omitempty"`
+	Class  string            `json:"class,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Error carries this item's failure; the other items are unaffected.
+	Error *errorBody `json:"error,omitempty"`
+}
+
+// batchSummaryLine is the final NDJSON line: totals over the whole batch.
+type batchSummaryLine struct {
+	Done      bool `json:"done"`
+	Items     int  `json:"items"`
+	Distinct  int  `json:"distinct"`
+	Hits      int  `json:"hits"`
+	Coalesced int  `json:"coalesced"`
+	Computed  int  `json:"computed"`
+	Errors    int  `json:"errors"`
+}
+
+// batchPlan is one request item resolved for execution.
+type batchPlan struct {
+	index   int
+	sources []*qilabel.Tree
+	domain  string
+	ropts   requestOptions
+	key     string
+	err     *apiError // resolution failure; the item never runs
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty batch: provide at least one item")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch of %d items exceeds the %d-item limit; split the batch", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	s.metrics.batches.Add(1)
+	s.metrics.batchItems.Add(int64(len(req.Items)))
+
+	// Resolve every item and deduplicate by cache key: duplicate items
+	// share the first occurrence's run and are reported as coalesced.
+	plans := make([]*batchPlan, len(req.Items))
+	first := make(map[string]int) // cache key -> index of first occurrence
+	dupes := make(map[int][]int)  // first occurrence -> duplicate indices
+	distinct := make([]*batchPlan, 0, len(req.Items))
+	for i, item := range req.Items {
+		p := &batchPlan{index: i, domain: item.Domain, ropts: item.Options}
+		p.sources, p.err = resolveSources(item)
+		if p.err == nil {
+			p.key = qilabel.CacheKey(p.sources, s.options(item.Options)...)
+			if j, dup := first[p.key]; dup {
+				dupes[j] = append(dupes[j], i)
+			} else {
+				first[p.key] = i
+				distinct = append(distinct, p)
+			}
+		}
+		plans[i] = p
+	}
+
+	budget := req.Parallelism
+	if budget <= 0 || budget > s.cfg.MaxInflight {
+		budget = s.cfg.MaxInflight
+	}
+
+	// Stream one NDJSON line per item as results land.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var (
+		emitMu  sync.Mutex
+		summary batchSummaryLine
+	)
+	summary.Items = len(req.Items)
+	summary.Distinct = len(distinct)
+	emitted := make([]bool, len(req.Items))
+	emit := func(line batchItemResult) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		emitted[line.Index] = true
+		switch {
+		case line.Error != nil:
+			summary.Errors++
+		case line.Status == statusHit:
+			summary.Hits++
+		case line.Status == statusCoalesced:
+			summary.Coalesced++
+		case line.Status == statusComputed:
+			summary.Computed++
+		}
+		data, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		w.Write(append(data, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Unresolvable items fail immediately, before any pipeline work.
+	for _, p := range plans {
+		if p.err != nil {
+			emit(batchItemResult{Index: p.index, Error: &errorBody{Code: p.err.code, Message: p.err.msg}})
+		}
+	}
+
+	// Fan the distinct items over the shared coalesced path. Batch items
+	// block for worker slots (the budget already bounds concurrency), and
+	// they coalesce with interactive requests and with other batches just
+	// like any request.
+	_ = pool.ForEach(r.Context(), budget, len(distinct), func(_, k int) {
+		p := distinct[k]
+		resp, status, apiErr := s.integrateShared(r.Context(), p.key, p.sources, p.domain, p.ropts, true)
+		line := batchItemResult{Index: p.index, Status: status}
+		if apiErr != nil {
+			line.Status = ""
+			line.Error = &errorBody{Code: apiErr.code, Message: apiErr.msg}
+		} else {
+			line.Key = resp.Key
+			line.Class = resp.Class
+			line.Labels = resp.Labels
+		}
+		emit(line)
+		// Duplicates of this item share the outcome without running.
+		for _, di := range dupes[p.index] {
+			dup := line
+			dup.Index = di
+			if dup.Error == nil {
+				dup.Status = statusCoalesced
+			}
+			emit(dup)
+		}
+	})
+
+	// A canceled batch context stops the fan-out with items unprocessed;
+	// their lines still arrive, as per-item errors.
+	for _, p := range plans {
+		if !emitted[p.index] {
+			emit(batchItemResult{Index: p.index,
+				Error: &errorBody{Code: codeCanceled, Message: "batch canceled before this item ran"}})
+		}
+	}
+
+	emitMu.Lock()
+	summary.Done = true
+	data, err := json.Marshal(summary)
+	emitMu.Unlock()
+	if err == nil {
+		w.Write(append(data, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -8,11 +8,18 @@ import (
 )
 
 // cacheEntry is one cached integration: the full result (kept for
-// /v1/translate, which needs the merge structure) and the response body
-// it produced (reused verbatim on warm /v1/integrate hits).
+// /v1/translate, which needs the merge structure), the response body it
+// produced (reused verbatim on warm /v1/integrate hits), and the inputs
+// that produced it (domain, request options, source trees) so the entry
+// can be persisted to disk and deterministically rehydrated after a
+// restart. res is nil on entries restored from a snapshot until a
+// /v1/translate forces recomputation.
 type cacheEntry struct {
-	res  *qilabel.Result
-	resp integrateResponse
+	res     *qilabel.Result
+	resp    integrateResponse
+	domain  string
+	options requestOptions
+	sources []*qilabel.Tree
 }
 
 // lru is a mutex-guarded least-recently-used cache of integration results
@@ -80,4 +87,17 @@ func (c *lru) Purge() {
 	defer c.mu.Unlock()
 	c.order.Init()
 	c.items = make(map[string]*list.Element)
+}
+
+// Dump returns every entry with its key, least recently used first, so a
+// restore that re-Puts them in order reproduces the recency ranking.
+func (c *lru) Dump() (keys []string, entries []*cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		it := el.Value.(*lruItem)
+		keys = append(keys, it.key)
+		entries = append(entries, it.entry)
+	}
+	return keys, entries
 }

@@ -24,6 +24,20 @@ type metrics struct {
 	inflight    atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	// coalesced counts requests that joined another identical request's
+	// in-flight pipeline run instead of starting their own.
+	coalesced atomic.Int64
+
+	// batches / batchItems count /v1/integrate/batch requests and the
+	// items they carried.
+	batches    atomic.Int64
+	batchItems atomic.Int64
+
+	// Cache-persistence counters: snapshot writes, successful restores and
+	// entries restored from disk.
+	snapshotSaves    atomic.Int64
+	snapshotLoads    atomic.Int64
+	snapshotRestored atomic.Int64
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
@@ -129,16 +143,30 @@ type snapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
 	Inflight      int64                       `json:"inflight"`
 	Cache         cacheSnapshot               `json:"cache"`
+	Batch         batchSnapshot               `json:"batch"`
+	Persistence   persistenceSnapshot         `json:"persistence"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
 	Stages        map[string]stageSnapshot    `json:"stages"`
 	Naming        map[string]int              `json:"naming"`
 }
 
 type cacheSnapshot struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Entries  int   `json:"entries"`
-	Capacity int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+type batchSnapshot struct {
+	Count int64 `json:"count"`
+	Items int64 `json:"items"`
+}
+
+type persistenceSnapshot struct {
+	Saves           int64 `json:"saves"`
+	Loads           int64 `json:"loads"`
+	RestoredEntries int64 `json:"restoredEntries"`
 }
 
 func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
@@ -146,10 +174,20 @@ func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Inflight:      m.inflight.Load(),
 		Cache: cacheSnapshot{
-			Hits:     m.cacheHits.Load(),
-			Misses:   m.cacheMisses.Load(),
-			Entries:  cacheEntries,
-			Capacity: cacheCap,
+			Hits:      m.cacheHits.Load(),
+			Misses:    m.cacheMisses.Load(),
+			Coalesced: m.coalesced.Load(),
+			Entries:   cacheEntries,
+			Capacity:  cacheCap,
+		},
+		Batch: batchSnapshot{
+			Count: m.batches.Load(),
+			Items: m.batchItems.Load(),
+		},
+		Persistence: persistenceSnapshot{
+			Saves:           m.snapshotSaves.Load(),
+			Loads:           m.snapshotLoads.Load(),
+			RestoredEntries: m.snapshotRestored.Load(),
 		},
 		Endpoints: make(map[string]endpointSnapshot),
 		Stages:    make(map[string]stageSnapshot),

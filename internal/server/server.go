@@ -7,23 +7,33 @@
 //
 // Endpoints:
 //
-//	POST /v1/integrate  source trees (or a builtin domain) in, labeled
-//	                    tree + classification + labels + report out
-//	POST /v1/extract    raw HTML in, schema trees out; optionally piped
-//	                    straight into integration with the matcher
-//	POST /v1/translate  global query against a cached integration in,
-//	                    per-source subqueries out (pure cache hit)
-//	GET  /v1/domains    the builtin evaluation corpora
-//	GET  /healthz       liveness probe
-//	GET  /metrics       request/latency/cache/inference-rule counters
+//	POST /v1/integrate        source trees (or a builtin domain) in,
+//	                          labeled tree + classification + labels +
+//	                          report out
+//	POST /v1/integrate/batch  up to MaxBatchItems source-tree sets in,
+//	                          deduplicated, fanned out, streamed back as
+//	                          NDJSON with per-item status and errors
+//	POST /v1/extract          raw HTML in, schema trees out; optionally
+//	                          piped straight into integration with the
+//	                          matcher
+//	POST /v1/translate        global query against a cached integration
+//	                          in, per-source subqueries out (pure cache
+//	                          hit)
+//	GET  /v1/domains          the builtin evaluation corpora
+//	GET  /healthz             liveness probe
+//	GET  /metrics             request/latency/cache/inference-rule counters
 //
 // Production plumbing: a bounded worker pool (503 + Retry-After on
-// saturation), per-request timeouts with true pipeline cancellation (a
-// timed-out or disconnected request stops computing and frees its worker
-// slot immediately), request-size limits, per-stage pipeline timings on
-// /metrics, and an LRU cache of integration results keyed by
-// qilabel.CacheKey, so repeated integrations of one source pool skip
-// match/merge/naming entirely.
+// saturation), per-request timeouts, request-size limits, per-stage
+// pipeline timings on /metrics, and an LRU cache of integration results
+// keyed by qilabel.CacheKey, so repeated integrations of one source pool
+// skip match/merge/naming entirely. Identical concurrent requests
+// coalesce onto a single pipeline run (see coalesce.go): a request that
+// times out or disconnects answers immediately, but the shared run
+// continues while other requests still wait on it, and only the last
+// waiter leaving cancels the pipeline. With a cache snapshot file (see
+// persist.go and qilabeld's -cache-file) the result cache survives
+// restarts.
 //
 // Errors use one structured envelope across every /v1/* endpoint:
 //
@@ -71,6 +81,9 @@ type Config struct {
 	// parallel stages out over (0: GOMAXPROCS, 1: serial). Never changes
 	// results, so it does not participate in cache keys.
 	Parallelism int
+	// MaxBatchItems caps how many source-tree sets one /v1/integrate/batch
+	// request may carry. Zero: 64.
+	MaxBatchItems int
 }
 
 // Server is the HTTP labeling service. Create with New; it is safe for
@@ -79,6 +92,7 @@ type Server struct {
 	cfg     Config
 	sem     chan struct{}
 	cache   *lru
+	flights *flightGroup
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -107,14 +121,19 @@ func New(cfg Config) *Server {
 	case cfg.CacheSize < 0:
 		cfg.CacheSize = 0
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 64
+	}
 	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		cache:   newLRU(cfg.CacheSize),
+		flights: newFlightGroup(),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
 	s.route("POST /v1/integrate", "/v1/integrate", s.handleIntegrate)
+	s.route("POST /v1/integrate/batch", "/v1/integrate/batch", s.handleBatch)
 	s.route("POST /v1/extract", "/v1/extract", s.handleExtract)
 	s.route("POST /v1/translate", "/v1/translate", s.handleTranslate)
 	s.route("GET /v1/domains", "/v1/domains", s.handleDomains)
@@ -151,16 +170,32 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) acquire() (release func(), ok bool) {
 	select {
 	case s.sem <- struct{}{}:
-		s.metrics.inflight.Add(1)
-		var once sync.Once
-		return func() {
-			once.Do(func() {
-				<-s.sem
-				s.metrics.inflight.Add(-1)
-			})
-		}, true
+		return s.releaser(), true
 	default:
 		return nil, false
+	}
+}
+
+// acquireCtx claims a worker-pool slot, waiting until one frees or the
+// context dies. The batch fan-out uses it: the batch already bounds its own
+// parallelism, so its items queue for slots instead of failing fast.
+func (s *Server) acquireCtx(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return s.releaser(), true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+func (s *Server) releaser() func() {
+	s.metrics.inflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-s.sem
+			s.metrics.inflight.Add(-1)
+		})
 	}
 }
 
@@ -224,10 +259,14 @@ type integrateResponse struct {
 	Key string `json:"key"`
 	// Cached reports whether the response was served from the cache
 	// (match/merge/naming skipped).
-	Cached bool              `json:"cached"`
-	Class  string            `json:"class"`
-	Labels map[string]string `json:"labels"`
-	Tree   *qilabel.Tree     `json:"tree"`
+	Cached bool `json:"cached"`
+	// Coalesced reports that this request joined another identical request
+	// already in flight and shares its result — the pipeline ran once for
+	// all of them.
+	Coalesced bool              `json:"coalesced,omitempty"`
+	Class     string            `json:"class"`
+	Labels    map[string]string `json:"labels"`
+	Tree      *qilabel.Tree     `json:"tree"`
 	// Text is the indented one-node-per-line rendering of the tree.
 	Text   string         `json:"text"`
 	Report reportJSON     `json:"report"`
@@ -287,85 +326,53 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sources, ok := s.resolveSources(w, req)
-	if !ok {
+	sources, apiErr := resolveSources(req)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
 		return
 	}
-	s.integrate(r, w, sources, req.Domain, s.options(req.Options))
+	s.integrate(r, w, sources, req.Domain, req.Options)
 }
 
-func (s *Server) resolveSources(w http.ResponseWriter, req integrateRequest) ([]*qilabel.Tree, bool) {
+// resolveSources materializes a request's source trees (inline sources or
+// a builtin corpus). Endpoint-independent: the single and batch handlers
+// both use it, rendering the error their own way.
+func resolveSources(req integrateRequest) ([]*qilabel.Tree, *apiError) {
 	switch {
 	case req.Domain != "" && len(req.Sources) > 0:
-		writeError(w, http.StatusBadRequest, codeBadRequest, "specify either sources or domain, not both")
-		return nil, false
+		return nil, &apiError{http.StatusBadRequest, codeBadRequest, "specify either sources or domain, not both"}
 	case req.Domain != "":
 		sources, err := qilabel.BuiltinDomain(req.Domain)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
-			return nil, false
+			return nil, &apiError{http.StatusBadRequest, codeBadRequest, err.Error()}
 		}
-		return sources, true
+		return sources, nil
 	case len(req.Sources) > 0:
-		return req.Sources, true
+		return req.Sources, nil
 	default:
-		writeError(w, http.StatusBadRequest, codeBadRequest, "no source interfaces: provide sources or a builtin domain")
-		return nil, false
+		return nil, &apiError{http.StatusBadRequest, codeBadRequest, "no source interfaces: provide sources or a builtin domain"}
 	}
 }
 
-// integrate serves one integration request: warm keys come straight from
-// the cache, cold keys claim a worker-pool slot and run the pipeline under
-// the request context. Timeout or client disconnect cancels the pipeline
-// cooperatively — the computation stops at its next checkpoint, the slot
-// frees, and nothing reaches the cache.
-func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qilabel.Tree, domain string, opts []qilabel.Option) {
-	key := qilabel.CacheKey(sources, opts...)
-	if e, hit := s.cache.Get(key); hit {
-		s.metrics.cacheHits.Add(1)
-		resp := e.resp
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
+// integrate serves one integration request through the shared coalesced
+// path: warm keys come straight from the cache, cold keys join (or lead)
+// the flight for their key. A timed-out or disconnected request answers
+// immediately, but the shared run keeps going while other requests still
+// wait on it; only the last waiter leaving cancels the pipeline.
+func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qilabel.Tree, domain string, ropts requestOptions) {
+	key := qilabel.CacheKey(sources, s.options(ropts)...)
+	resp, _, apiErr := s.integrateShared(r.Context(), key, sources, domain, ropts, false)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
-
-	release, ok := s.acquire()
-	if !ok {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, codeSaturated,
-			fmt.Sprintf("server saturated (%d integrations in flight); retry shortly", s.cfg.MaxInflight))
-		return
-	}
-	defer release()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	if s.testHookSlow != nil {
-		s.testHookSlow()
-	}
-	opts = append(opts, qilabel.WithParallelism(s.cfg.Parallelism),
-		qilabel.WithObserver(s.metrics.observeStage))
-	res, err := qilabel.IntegrateContext(ctx, sources, opts...)
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, codeTimeout,
-			fmt.Sprintf("integration exceeded the %s request timeout and was canceled; retry or split the source pool", s.cfg.RequestTimeout))
-	case errors.Is(err, context.Canceled):
-		// The client went away; the pipeline stopped at its next
-		// checkpoint. 499 is the de-facto "client closed request" status.
-		writeError(w, statusClientClosedRequest, codeCanceled,
-			"request canceled before the integration finished")
-	case err != nil:
-		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
-	default:
-		writeJSON(w, http.StatusOK, s.finish(key, domain, sources, res))
-	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// finish builds the response for a cold integration, feeds the rule
-// counters into the metrics registry and caches the entry.
-func (s *Server) finish(key, domain string, sources []*qilabel.Tree, res *qilabel.Result) integrateResponse {
+// complete builds the response for a cold integration, feeds the rule
+// counters into the metrics registry and caches the entry — exactly once
+// per flight, however many requests coalesced onto it.
+func (s *Server) complete(key, domain string, sources []*qilabel.Tree, ropts requestOptions, res *qilabel.Result) integrateResponse {
 	rep := res.Report(domain, sources)
 	resp := integrateResponse{
 		Key:    key,
@@ -389,7 +396,13 @@ func (s *Server) finish(key, domain string, sources []*qilabel.Tree, res *qilabe
 		resp.Rules[fmt.Sprintf("li%d", li)] = res.Naming.Counters.LI[li]
 	}
 	s.metrics.addRules(res.Naming.Counters)
-	s.cache.Put(key, &cacheEntry{res: res, resp: resp})
+	s.cache.Put(key, &cacheEntry{
+		res:     res,
+		resp:    resp,
+		domain:  domain,
+		options: ropts,
+		sources: sources,
+	})
 	return resp
 }
 
@@ -418,7 +431,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// Extracted trees carry no cluster annotations; the matcher is
 	// mandatory on this path.
 	req.Options.Matcher = true
-	s.integrate(r, w, trees, "", s.options(req.Options))
+	s.integrate(r, w, trees, "", req.Options)
 }
 
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
@@ -438,7 +451,21 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.cacheHits.Add(1)
-	subs := entry.res.Translate(req.Query)
+	res := entry.res
+	if res == nil {
+		// The entry was restored from a disk snapshot, which carries the
+		// response but not the in-memory merge structures translation
+		// needs. Recompute them once from the persisted sources (the
+		// pipeline is deterministic, so the result is the one the key
+		// names) and re-cache the rehydrated entry.
+		var apiErr *apiError
+		res, apiErr = s.rehydrate(r.Context(), req.Key, entry)
+		if apiErr != nil {
+			writeAPIError(w, apiErr)
+			return
+		}
+	}
+	subs := res.Translate(req.Query)
 	resp := translateResponse{Key: req.Key}
 	for _, sub := range subs {
 		sj := subQueryJSON{
@@ -533,4 +560,13 @@ type errorBody struct {
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+}
+
+// writeAPIError renders an endpoint-independent error, attaching the
+// Retry-After hint saturation responses carry.
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	if e.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, e.status, e.code, e.msg)
 }

@@ -229,7 +229,8 @@ func TestSaturationReturns503(t *testing.T) {
 	}
 }
 
-// TestTimeoutCancelsAndCachesNothing: on expiry the pipeline is canceled,
+// TestTimeoutCancelsAndCachesNothing: on expiry the request answers 504
+// immediately; the abandoned flight (its last waiter gone) is canceled,
 // the worker slot frees, and no partial result reaches the cache — a retry
 // of the same key is a fresh cold computation, not a hit.
 func TestTimeoutCancelsAndCachesNothing(t *testing.T) {
@@ -245,11 +246,13 @@ func TestTimeoutCancelsAndCachesNothing(t *testing.T) {
 	if env.Error.Code != codeTimeout {
 		t.Fatalf("error code = %q, want %q", env.Error.Code, codeTimeout)
 	}
+
+	// The 504 answers while the abandoned run winds down in the
+	// background; wait for it to cancel, free its slot and leave the
+	// flight group.
+	waitDrained(t, s)
 	if s.cache.Len() != 0 {
 		t.Fatalf("canceled integration reached the cache (%d entries)", s.cache.Len())
-	}
-	if s.metrics.inflight.Load() != 0 {
-		t.Fatalf("inflight = %d after timeout, want 0 (slot not freed)", s.metrics.inflight.Load())
 	}
 
 	// A retry with a sane budget recomputes and succeeds.
@@ -262,6 +265,20 @@ func TestTimeoutCancelsAndCachesNothing(t *testing.T) {
 	}
 	if retry.Key == "" || retry.Tree == nil {
 		t.Fatal("retry did not produce a result")
+	}
+}
+
+// waitDrained blocks until no computation is in flight and no flight
+// remains in the coalescing group (or fails the test after 2 s).
+func waitDrained(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.metrics.inflight.Load() != 0 || s.flights.inflightKeys() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not drain: inflight=%d flights=%d",
+				s.metrics.inflight.Load(), s.flights.inflightKeys())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

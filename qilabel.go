@@ -18,6 +18,7 @@ import (
 	"qilabel/internal/merge"
 	"qilabel/internal/metrics"
 	"qilabel/internal/naming"
+	"qilabel/internal/pool"
 	"qilabel/internal/render"
 	"qilabel/internal/schema"
 	"qilabel/internal/translate"
@@ -378,6 +379,64 @@ func pruneRareClusters(trees []*schema.Tree, m *cluster.Mapping, minFreq int) *c
 		}
 	}
 	return cluster.NewMapping(keep...)
+}
+
+// BatchItem is the outcome of one source-tree set in an IntegrateBatch
+// call.
+type BatchItem struct {
+	// Index is the set's position in the input.
+	Index int
+	// Key is the CacheKey of the set under the call's options.
+	Key string
+	// Shared reports that the set was a duplicate (same Key) of an earlier
+	// set and shares that set's Result without a pipeline run of its own.
+	Shared bool
+	// Result is the integration outcome; nil when Err is set.
+	Result *Result
+	// Err is this set's failure. Errors are isolated: one invalid set
+	// never fails the batch.
+	Err error
+}
+
+// IntegrateBatch integrates many source-tree sets in one call — the
+// domain-sized workload of form-integration pipelines that process a
+// corpus of interfaces at a time. Sets are deduplicated by CacheKey before
+// any work starts, so listing one source pool many times runs the
+// pipeline once; the distinct sets then fan out over up to parallelism
+// concurrent IntegrateContext runs (0: GOMAXPROCS, 1: serial). The same
+// options apply to every set. Cancellation stops unstarted sets, which
+// report ctx.Err(); sets already computed keep their results.
+func IntegrateBatch(ctx context.Context, sets [][]*Tree, parallelism int, opts ...Option) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	items := make([]BatchItem, len(sets))
+	firstOf := make(map[string]int, len(sets))
+	var distinct []int
+	for i, set := range sets {
+		items[i] = BatchItem{Index: i, Key: CacheKey(set, opts...)}
+		if _, dup := firstOf[items[i].Key]; dup {
+			items[i].Shared = true
+		} else {
+			firstOf[items[i].Key] = i
+			distinct = append(distinct, i)
+		}
+	}
+	_ = pool.ForEach(ctx, parallelism, len(distinct), func(_, k int) {
+		i := distinct[k]
+		items[i].Result, items[i].Err = IntegrateContext(ctx, sets[i], opts...)
+	})
+	for i := range items {
+		if items[i].Shared {
+			src := &items[firstOf[items[i].Key]]
+			items[i].Result, items[i].Err = src.Result, src.Err
+		}
+		if items[i].Result == nil && items[i].Err == nil {
+			// The fan-out was canceled before this set ran.
+			items[i].Err = ctx.Err()
+		}
+	}
+	return items
 }
 
 // Fingerprint renders the effective configuration the given options

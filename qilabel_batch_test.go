@@ -1,0 +1,92 @@
+package qilabel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestIntegrateBatchDedupAndIsolation: duplicate sets share one pipeline
+// run, an invalid set fails alone, and every item reports its own key.
+func TestIntegrateBatchDedupAndIsolation(t *testing.T) {
+	airline, err := BuiltinDomain("Airline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]*Tree{
+		sampleSources(),
+		airline,
+		sampleSources(),                         // duplicate of set 0
+		{NewTree("solo", NewField("Only", ""))}, // no clusters: fails alone
+	}
+	items := IntegrateBatch(context.Background(), sets, 2)
+	if len(items) != len(sets) {
+		t.Fatalf("got %d items, want %d", len(items), len(sets))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d has index %d", i, it.Index)
+		}
+		if it.Key == "" {
+			t.Fatalf("item %d has no key", i)
+		}
+	}
+	if items[0].Err != nil || items[0].Result == nil {
+		t.Fatalf("set 0 failed: %v", items[0].Err)
+	}
+	if items[1].Err != nil || items[1].Result == nil {
+		t.Fatalf("set 1 failed: %v", items[1].Err)
+	}
+	if !items[2].Shared || items[2].Key != items[0].Key {
+		t.Fatalf("set 2 = %+v, want a shared duplicate of set 0", items[2])
+	}
+	if items[2].Result != items[0].Result {
+		t.Fatal("duplicate set did not share the first occurrence's result")
+	}
+	if items[3].Err == nil {
+		t.Fatal("invalid set did not fail")
+	}
+	if items[3].Shared || items[3].Result != nil {
+		t.Fatalf("failed set carries a result: %+v", items[3])
+	}
+	// The batch result matches a standalone run exactly.
+	solo, err := Integrate(sampleSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := items[0].Result.Class, solo.Class; got != want {
+		t.Fatalf("batch class %q, standalone %q", got, want)
+	}
+}
+
+// TestIntegrateBatchCancellation: a canceled context stops unstarted sets,
+// which report the context error rather than hanging or panicking.
+func TestIntegrateBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := IntegrateBatch(ctx, [][]*Tree{sampleSources(), sampleSources()}, 1)
+	for i, it := range items {
+		if it.Err == nil {
+			t.Fatalf("set %d completed under a canceled context", i)
+		}
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("set %d error = %v, want context.Canceled", i, it.Err)
+		}
+	}
+}
+
+// TestIntegrateBatchOptionsAffectKeys: option changes flow into every
+// item's key, and different options never collide with the default run.
+func TestIntegrateBatchOptionsAffectKeys(t *testing.T) {
+	plain := IntegrateBatch(context.Background(), [][]*Tree{sampleSources()}, 1)
+	leveled := IntegrateBatch(context.Background(), [][]*Tree{sampleSources()}, 1, WithMaxLevel(2))
+	if plain[0].Err != nil || leveled[0].Err != nil {
+		t.Fatalf("unexpected errors: %v / %v", plain[0].Err, leveled[0].Err)
+	}
+	if plain[0].Key == leveled[0].Key {
+		t.Fatal("different options produced the same batch key")
+	}
+	if plain[0].Key != CacheKey(sampleSources()) {
+		t.Fatal("batch key diverges from CacheKey")
+	}
+}
