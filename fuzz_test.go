@@ -4,7 +4,56 @@ import (
 	"testing"
 
 	"qilabel/internal/schema"
+	"qilabel/internal/synth"
 )
+
+// FuzzSynth drives the whole pipeline with generator configurations drawn
+// from the fuzzer: any seed and shape the generator accepts must
+// integrate without panicking or erroring, and whenever the result
+// classifies as Consistent it must verify violation-free. The rates word
+// packs six 3-bit perturbation knobs (each in {0/8 … 7/8}), so the fuzzer
+// can mix synonym swaps, number variation, noise, hypernym lifts, dropout
+// and reorder freely.
+func FuzzSynth(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(6), uint8(3), uint8(2), uint32(0), false)
+	f.Add(uint64(42), uint8(5), uint8(10), uint8(4), uint8(3), uint32(0x2da5b), true)
+	f.Add(uint64(7), uint8(1), uint8(1), uint8(1), uint8(1), uint32(0x3ffff), false)
+	f.Fuzz(func(t *testing.T, seed uint64, sources, concepts, fanout, depth uint8, rates uint32, matcher bool) {
+		knob := func(shift uint) float64 { return float64((rates>>shift)&0x7) / 8 }
+		cfg := synth.Config{
+			Seed:        seed,
+			Sources:     1 + int(sources%6),
+			Concepts:    1 + int(concepts%12),
+			GroupFanout: 1 + int(fanout%5),
+			Depth:       1 + int(depth%4),
+			Perturb: synth.Perturb{
+				SynonymSwap:  knob(0),
+				NumberVary:   knob(3),
+				Noise:        knob(6),
+				HypernymLift: knob(9),
+				Dropout:      knob(12),
+				Reorder:      knob(15),
+			},
+		}
+		trees, err := synth.Generate(cfg)
+		if err != nil {
+			t.Skip() // e.g. the lexicon cannot supply that many concepts
+		}
+		opts := []Option{}
+		if matcher {
+			opts = append(opts, WithMatcher())
+		}
+		res, err := Integrate(trees, opts...)
+		if err != nil {
+			t.Fatalf("generated corpus failed to integrate: %v", err)
+		}
+		if res.Class == Consistent {
+			if vs := res.Verify(); len(vs) != 0 {
+				t.Fatalf("Consistent result has %d violations; first: %+v", len(vs), vs[0])
+			}
+		}
+	})
+}
 
 // FuzzCacheKey pins the soundness properties the result cache, request
 // coalescing and snapshot persistence all lean on: equal inputs always

@@ -1,0 +1,192 @@
+package extract
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tokenSig renders a token compactly for table comparisons.
+func tokenSig(t token) string {
+	switch t.kind {
+	case tokenText:
+		return "text:" + t.text
+	case tokenStartTag:
+		return "start:" + t.name
+	case tokenEndTag:
+		return "end:" + t.name
+	default:
+		return "self:" + t.name
+	}
+}
+
+// TestTokenizeEdgeCases drives the tokenizer over the malformed and
+// borderline markup real query pages contain. The documented contract is
+// graceful degradation: unterminated constructs consume the rest of the
+// input, stray bytes pass through as text, nothing panics.
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"unclosed start tag", `<input type=text`, []string{"self:input"}},
+		{"unclosed end tag", `abc</div`, []string{"text:abc"}},
+		{"unterminated comment", `x<!-- never closed <input>`, []string{"text:x"}},
+		{"unterminated doctype", `<!DOCTYPE html`, nil},
+		// HTML comments do not nest: the first --> closes the comment and
+		// the leftover close marker is plain text.
+		{"nested comment", `<!-- a <!-- b --> c -->`, []string{"text: c -->"}},
+		{"stray lt in text", `a < b`, []string{"text:a ", "text:<", "text: b"}},
+		{"empty tag", `<>`, []string{"text:<", "text:>"}},
+		{"digit tag is text", `<3 ok`, []string{"text:<", "text:3 ok"}},
+		{"entities in text", `&lt;x&gt; &amp;&bogus;`, []string{"text:<x> &&bogus;"}},
+		{"unterminated raw text", `<script>var a = 1;`, []string{"start:script"}},
+		{"raw text closer case", `<script>x</SCRIPT>after`,
+			[]string{"start:script", "end:script", "text:after"}},
+		{"end tag with space", `</p >`, []string{"end:p"}},
+		{"processing instruction", `<?php echo ?>done`, []string{"text:done"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			toks := tokenize(tc.in)
+			got := make([]string, len(toks))
+			for i, tok := range toks {
+				got[i] = tokenSig(tok)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTokenizeAttributeEdgeCases covers attribute parsing quirks: entity
+// escapes in values, loose whitespace around =, and unquoted values.
+func TestTokenizeAttributeEdgeCases(t *testing.T) {
+	toks := tokenize(`<input value="a&quot;b&amp;c">`)
+	if len(toks) != 1 || toks[0].attrs["value"] != `a"b&c` {
+		t.Errorf("escaped attribute: %+v", toks)
+	}
+	toks = tokenize(`<p   class = "x"  >`)
+	if len(toks) != 1 || toks[0].attrs["class"] != "x" {
+		t.Errorf("spaced attribute: %+v", toks)
+	}
+	toks = tokenize(`<input value=plain name='q'>`)
+	if len(toks) != 1 || toks[0].attrs["value"] != "plain" || toks[0].attrs["name"] != "q" {
+		t.Errorf("unquoted/single-quoted attributes: %+v", toks)
+	}
+	// Unterminated quoted value: the rest of the input is the value.
+	toks = tokenize(`<input value="never closed`)
+	if len(toks) != 1 || toks[0].attrs["value"] != "never closed" {
+		t.Errorf("unterminated quote: %+v", toks)
+	}
+}
+
+// TestFormsEdgeCases drives the form extractor over degenerate markup.
+func TestFormsEdgeCases(t *testing.T) {
+	type leaf struct {
+		label     string
+		instances int
+	}
+	cases := []struct {
+		name   string
+		html   string
+		forms  int
+		leaves []leaf
+	}{
+		{
+			name:   "empty select keeps the field without instances",
+			html:   `<form>To: <select name=s></select></form>`,
+			forms:  1,
+			leaves: []leaf{{"To", 0}},
+		},
+		{
+			name: "placeholder-only select",
+			html: `<form>State<select><option>-- Select One --</option>` +
+				`<option value="">Any</option></select></form>`,
+			forms:  1,
+			leaves: []leaf{{"State", 0}},
+		},
+		{
+			name:   "unclosed form extracts to end of input",
+			html:   `<form>Name<input type=text>`,
+			forms:  1,
+			leaves: []leaf{{"Name", 0}},
+		},
+		{
+			name:   "unclosed select swallows the rest of the form",
+			html:   `<form>City<select><option>NY<input type=text></form>`,
+			forms:  1,
+			leaves: []leaf{{"City", 1}},
+		},
+		{
+			name:   "commented-out field is invisible",
+			html:   `<form><!-- <input type=text id=x> -->Qty<input type=number></form>`,
+			forms:  1,
+			leaves: []leaf{{"Qty", 0}},
+		},
+		{
+			name:   "empty fieldset is pruned",
+			html:   `<form><fieldset></fieldset>Keyword<input type=text></form>`,
+			forms:  1,
+			leaves: []leaf{{"Keyword", 0}},
+		},
+		{
+			name:   "form without fields still yields a tree",
+			html:   `<form><p>nothing here</p></form>`,
+			forms:  1,
+			leaves: nil,
+		},
+		{
+			name:   "entities in label text",
+			html:   `<form><label for=a>Departure &amp; Return</label><input type=text id=a></form>`,
+			forms:  1,
+			leaves: []leaf{{"Departure & Return", 0}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trees := Forms(tc.html, "t")
+			if len(trees) != tc.forms {
+				t.Fatalf("Forms yielded %d trees, want %d", len(trees), tc.forms)
+			}
+			if tc.forms == 0 {
+				return
+			}
+			if tc.leaves == nil {
+				// Tree.Leaves counts a childless root as a leaf; assert on
+				// the children directly.
+				if n := len(trees[0].Root.Children); n != 0 {
+					t.Fatalf("got %d root children, want none: %s", n, trees[0])
+				}
+				return
+			}
+			got := trees[0].Leaves()
+			if len(got) != len(tc.leaves) {
+				t.Fatalf("got %d leaves, want %d: %s", len(got), len(tc.leaves), trees[0])
+			}
+			for i, want := range tc.leaves {
+				if got[i].Label != want.label {
+					t.Errorf("leaf %d label = %q, want %q", i, got[i].Label, want.label)
+				}
+				if len(got[i].Instances) != want.instances {
+					t.Errorf("leaf %d has %d instances, want %d", i, len(got[i].Instances), want.instances)
+				}
+			}
+		})
+	}
+}
+
+// TestFormsNestedForm: a form nested inside another (invalid HTML, seen in
+// the wild) stays part of the outer form's extraction and does not yield a
+// runaway second tree.
+func TestFormsNestedForm(t *testing.T) {
+	html := `<form id=outer>A<input type=text><form>B<input type=text></form></form>`
+	trees := Forms(html, "t")
+	if len(trees) != 1 {
+		t.Fatalf("Forms yielded %d trees, want 1", len(trees))
+	}
+	if got := len(trees[0].Leaves()); got != 2 {
+		t.Errorf("outer form has %d leaves, want both inputs (2): %s", got, trees[0])
+	}
+}

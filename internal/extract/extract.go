@@ -107,6 +107,11 @@ func parseForm(tokens []token, start int, iface string, nth int) (*schema.Tree, 
 				p.pending = text
 			}
 		case tokenStartTag, tokenSelfClosing:
+			// A legend must be the first element of its fieldset: any other
+			// tag means no legend is coming and text is significant again.
+			if t.name != "fieldset" && t.name != "legend" {
+				expectLegend = false
+			}
 			switch t.name {
 			case "fieldset":
 				node := schema.NewGroup("")
@@ -141,9 +146,20 @@ func parseForm(tokens []token, start int, iface string, nth int) (*schema.Tree, 
 			switch t.name {
 			case "fieldset":
 				if len(stack) > 1 {
+					node := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
+					// An empty fieldset is layout chrome; drop it here,
+					// before it becomes indistinguishable from an unlabeled
+					// field (an empty group is a leaf by structure).
+					if len(node.Children) == 0 {
+						top := stack[len(stack)-1]
+						if n := len(top.Children); n > 0 && top.Children[n-1] == node {
+							top.Children = top.Children[:n-1]
+						}
+					}
 				}
 				p.pending = ""
+				expectLegend = false
 			case "label":
 				p.inLabel = false
 				p.openLabelFor = ""

@@ -124,6 +124,11 @@ func parseTag(src string) (token, int, bool) {
 	i := 1
 	n := len(src)
 	start := i
+	// A tag name must start with a letter (`<3` or `<=` is text, as in
+	// HTML); digits, '-' and ':' are only allowed after it.
+	if i >= n || !(src[i] >= 'a' && src[i] <= 'z' || src[i] >= 'A' && src[i] <= 'Z') {
+		return token{}, 0, false
+	}
 	for i < n && isNameByte(src[i]) {
 		i++
 	}
@@ -136,7 +141,12 @@ func parseTag(src string) (token, int, bool) {
 			i++
 		}
 		if i >= n {
-			return tok, i, true // unterminated tag: accept what we have
+			// Unterminated tag: accept what we have, still marking void
+			// elements so `<input ...` at EOF behaves like a closed one.
+			if voidElements[tok.name] {
+				tok.kind = tokenSelfClosing
+			}
+			return tok, i, true
 		}
 		if src[i] == '>' {
 			i++

@@ -234,6 +234,53 @@ func (l *Lexicon) Synonyms(word string) []string {
 	return out
 }
 
+// Synsets returns a copy of every synonym set in the lexicon. Each set is
+// sorted and the sets themselves are ordered lexicographically, so the
+// enumeration is canonical: independent of insertion order and stable
+// across processes. The synthetic corpus generator keys seeded vocabulary
+// draws off positions in this listing, so any change to the ordering rule
+// silently reshuffles every synthesized corpus — don't.
+func (l *Lexicon) Synsets() [][]string {
+	out := make([][]string, 0, len(l.members))
+	for _, set := range l.members {
+		if len(set) == 0 {
+			continue
+		}
+		cp := append([]string(nil), set...)
+		sort.Strings(cp)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// HypernymEdges returns every direct (parent, child) edge in the lexicon's
+// hypernym graph, sorted by parent then child. Like Synsets, the order is
+// canonical regardless of insertion order.
+func (l *Lexicon) HypernymEdges() [][2]string {
+	out := make([][2]string, 0, len(l.hypernyms))
+	for child, parents := range l.hypernyms {
+		for _, p := range parents {
+			out = append(out, [2]string{p, child})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // maxHypernymDepth bounds the transitive hypernym search; the embedded
 // hierarchy is shallow, and the bound guards against accidental cycles in
 // user-supplied data.

@@ -1,0 +1,445 @@
+// Package loadgen replays synthesized interface corpora against a live
+// qilabeld and measures what comes back: request latencies, error counts
+// and how much of the traffic the server absorbed through its result
+// cache and request coalescing. It is the measurement core of cmd/qiload;
+// keeping it as a package makes the accounting, the duplicate-ratio
+// schedule and the NDJSON batch client unit-testable against an in-process
+// server.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qilabel/internal/schema"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Corpus is the pool of source-sets to replay (typically
+	// synth.Corpus output). Requests draw from it by index.
+	Corpus [][]*schema.Tree
+	// Ops is the number of operations to issue (an op is one HTTP
+	// request: either a single integrate or one batch). Default: one op
+	// per corpus set.
+	Ops int
+	// Concurrency is the number of worker goroutines. Default 4.
+	Concurrency int
+	// BatchRatio is the fraction of ops sent to /v1/integrate/batch
+	// (each carrying BatchSize items) instead of /v1/integrate.
+	BatchRatio float64
+	// BatchSize is the number of items per batch op. Default 4.
+	BatchSize int
+	// DuplicateRatio is the probability that a draw replays an
+	// already-used corpus set instead of a fresh one — the knob that
+	// exercises the result cache and request coalescing. At 0 every draw
+	// walks the corpus round-robin.
+	DuplicateRatio float64
+	// Matcher asks the server to recompute clusters from labels and
+	// instances rather than trusting the corpus annotations.
+	Matcher bool
+	// Seed drives the deterministic op schedule.
+	Seed uint64
+	// Timeout bounds each HTTP request. Default 30s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject one bound to an
+	// in-process handler).
+	Client *http.Client
+}
+
+// Percentiles summarizes an op latency distribution.
+type Percentiles struct {
+	P50 time.Duration `json:"p50"`
+	P90 time.Duration `json:"p90"`
+	P99 time.Duration `json:"p99"`
+	Max time.Duration `json:"max"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// Ops counts issued operations; Singles + Batches = Ops.
+	Ops     int `json:"ops"`
+	Singles int `json:"singles"`
+	Batches int `json:"batches"`
+	// Integrations counts requested integrations: one per single op,
+	// BatchSize per batch op.
+	Integrations int `json:"integrations"`
+	// Errors counts failed ops plus failed batch items.
+	Errors int `json:"errors"`
+	// Latency summarizes per-op round-trip times.
+	Latency Percentiles `json:"latency"`
+	// Duration is the wall-clock time of the whole run.
+	Duration time.Duration `json:"duration"`
+
+	// Client-observed reuse: single responses flagged cached/coalesced,
+	// and the hit/coalesced/computed split the batch summaries report.
+	ClientCached    int `json:"clientCached"`
+	ClientCoalesced int `json:"clientCoalesced"`
+	BatchHits       int `json:"batchHits"`
+	BatchCoalesced  int `json:"batchCoalesced"`
+	BatchComputed   int `json:"batchComputed"`
+
+	// Server-side /metrics cache counter deltas across the run.
+	CacheHits      int64 `json:"cacheHits"`
+	CacheMisses    int64 `json:"cacheMisses"`
+	CacheCoalesced int64 `json:"cacheCoalesced"`
+}
+
+// Reused returns every integration the run did not pay a full pipeline
+// execution for, as observed by the client: cache hits and coalesced
+// requests across both endpoints.
+func (r *Report) Reused() int {
+	return r.ClientCached + r.ClientCoalesced + r.BatchHits + r.BatchCoalesced
+}
+
+// op is one scheduled operation: the corpus indices it integrates (one
+// index for a single, BatchSize for a batch).
+type op struct {
+	indices []int
+	batch   bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ops == 0 {
+		o.Ops = len(o.Corpus)
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 4
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 4
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if len(o.Corpus) == 0 {
+		return errors.New("loadgen: empty corpus")
+	}
+	if o.BaseURL == "" {
+		return errors.New("loadgen: BaseURL required")
+	}
+	if o.BatchRatio < 0 || o.BatchRatio > 1 {
+		return fmt.Errorf("loadgen: BatchRatio %v outside [0,1]", o.BatchRatio)
+	}
+	if o.DuplicateRatio < 0 || o.DuplicateRatio > 1 {
+		return fmt.Errorf("loadgen: DuplicateRatio %v outside [0,1]", o.DuplicateRatio)
+	}
+	return nil
+}
+
+// schedule builds the deterministic op list: each draw either replays a
+// previously used corpus set (with probability DuplicateRatio) or takes
+// the next fresh one round-robin.
+func schedule(o Options) []op {
+	r := subRNG(o.Seed, 0, "schedule")
+	next := 0
+	var used []int
+	draw := func() int {
+		if len(used) > 0 && r.float() < o.DuplicateRatio {
+			return used[r.intn(len(used))]
+		}
+		idx := next % len(o.Corpus)
+		next++
+		used = append(used, idx)
+		return idx
+	}
+	ops := make([]op, o.Ops)
+	for i := range ops {
+		batch := r.float() < o.BatchRatio
+		n := 1
+		if batch {
+			n = o.BatchSize
+		}
+		indices := make([]int, n)
+		for j := range indices {
+			indices[j] = draw()
+		}
+		ops[i] = op{indices: indices, batch: batch}
+	}
+	return ops
+}
+
+// Run executes the load and returns the report. The run itself fails
+// only on setup problems (bad options, unreachable /metrics); individual
+// request failures are counted in Report.Errors so the caller can decide
+// how many are tolerable.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	before, err := scrapeCache(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics before run: %w", err)
+	}
+
+	ops := schedule(opts)
+	var (
+		mu        sync.Mutex
+		report    Report
+		latencies []time.Duration
+	)
+	work := make(chan op)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range work {
+				t0 := time.Now()
+				res := runOp(ctx, opts, o)
+				lat := time.Since(t0)
+				mu.Lock()
+				report.Ops++
+				report.Integrations += len(o.indices)
+				if o.batch {
+					report.Batches++
+				} else {
+					report.Singles++
+				}
+				report.Errors += res.errors
+				report.ClientCached += res.cached
+				report.ClientCoalesced += res.coalesced
+				report.BatchHits += res.batchHits
+				report.BatchCoalesced += res.batchCoalesced
+				report.BatchComputed += res.batchComputed
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, o := range ops {
+		select {
+		case work <- o:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	report.Duration = time.Since(start)
+	report.Latency = percentiles(latencies)
+
+	after, err := scrapeCache(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics after run: %w", err)
+	}
+	report.CacheHits = after.Hits - before.Hits
+	report.CacheMisses = after.Misses - before.Misses
+	report.CacheCoalesced = after.Coalesced - before.Coalesced
+	return &report, nil
+}
+
+// opResult is one op's contribution to the report.
+type opResult struct {
+	errors, cached, coalesced                int
+	batchHits, batchCoalesced, batchComputed int
+}
+
+type integrateBody struct {
+	Sources []*schema.Tree `json:"sources"`
+	Options requestOpts    `json:"options"`
+}
+
+type requestOpts struct {
+	Matcher bool `json:"matcher,omitempty"`
+}
+
+type batchBody struct {
+	Items []integrateBody `json:"items"`
+}
+
+func runOp(ctx context.Context, opts Options, o op) opResult {
+	if o.batch {
+		return runBatch(ctx, opts, o)
+	}
+	return runSingle(ctx, opts, o)
+}
+
+func post(ctx context.Context, opts Options, path string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(opts.BaseURL, "/")+path, bytes.NewReader(data))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The cancel func must outlive body reads; tie it to the body.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelBody struct {
+	ReadCloser interface {
+		Read([]byte) (int, error)
+		Close() error
+	}
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Read(p []byte) (int, error) { return b.ReadCloser.Read(p) }
+func (b *cancelBody) Close() error {
+	b.cancel()
+	return b.ReadCloser.Close()
+}
+
+func runSingle(ctx context.Context, opts Options, o op) opResult {
+	body := integrateBody{
+		Sources: opts.Corpus[o.indices[0]],
+		Options: requestOpts{Matcher: opts.Matcher},
+	}
+	resp, err := post(ctx, opts, "/v1/integrate", body)
+	if err != nil {
+		return opResult{errors: 1}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return opResult{errors: 1}
+	}
+	var out struct {
+		Cached    bool `json:"cached"`
+		Coalesced bool `json:"coalesced"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return opResult{errors: 1}
+	}
+	var res opResult
+	if out.Cached {
+		res.cached = 1
+	}
+	if out.Coalesced {
+		res.coalesced = 1
+	}
+	return res
+}
+
+func runBatch(ctx context.Context, opts Options, o op) opResult {
+	body := batchBody{}
+	for _, idx := range o.indices {
+		body.Items = append(body.Items, integrateBody{
+			Sources: opts.Corpus[idx],
+			Options: requestOpts{Matcher: opts.Matcher},
+		})
+	}
+	resp, err := post(ctx, opts, "/v1/integrate/batch", body)
+	if err != nil {
+		return opResult{errors: 1}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return opResult{errors: 1}
+	}
+	// The response is NDJSON: one line per item, then a summary line
+	// with done=true carrying the hit/coalesced/computed/error totals.
+	var res opResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	done := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var summary struct {
+			Done      bool `json:"done"`
+			Hits      int  `json:"hits"`
+			Coalesced int  `json:"coalesced"`
+			Computed  int  `json:"computed"`
+			Errors    int  `json:"errors"`
+		}
+		if err := json.Unmarshal(line, &summary); err != nil {
+			res.errors++
+			continue
+		}
+		if !summary.Done {
+			continue // per-item line; totals come from the summary
+		}
+		done = true
+		res.batchHits += summary.Hits
+		res.batchCoalesced += summary.Coalesced
+		res.batchComputed += summary.Computed
+		res.errors += summary.Errors
+	}
+	if err := sc.Err(); err != nil || !done {
+		res.errors++
+	}
+	return res
+}
+
+// cacheCounters is the /metrics cache section.
+type cacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+func scrapeCache(ctx context.Context, opts Options) (cacheCounters, error) {
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(opts.BaseURL, "/")+"/metrics", nil)
+	if err != nil {
+		return cacheCounters{}, err
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return cacheCounters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cacheCounters{}, fmt.Errorf("/metrics returned %s", resp.Status)
+	}
+	var snap struct {
+		Cache cacheCounters `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return cacheCounters{}, err
+	}
+	return snap.Cache, nil
+}
+
+func percentiles(d []time.Duration) Percentiles {
+	if len(d) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(d)))
+		if i >= len(d) {
+			i = len(d) - 1
+		}
+		return d[i]
+	}
+	return Percentiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: d[len(d)-1]}
+}

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"qilabel/internal/server"
+	"qilabel/internal/synth"
+)
+
+// startServer runs a real qilabeld handler on an in-process listener.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func corpus(t *testing.T, sets int) Options {
+	t.Helper()
+	c, err := synth.Corpus(synth.Config{
+		Seed: 12, Sources: 3, Concepts: 5,
+		Perturb: synth.Perturb{SynonymSwap: 0.4, Noise: 0.3},
+	}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{Corpus: c, Seed: 99}
+}
+
+// TestRunAgainstServer: a mixed single/batch run with a high duplicate
+// ratio completes without request errors and observes cache reuse both
+// client-side and in the server's /metrics counters.
+func TestRunAgainstServer(t *testing.T) {
+	opts := corpus(t, 6)
+	opts.BaseURL = startServer(t)
+	opts.Ops = 40
+	opts.Concurrency = 8
+	opts.BatchRatio = 0.3
+	opts.BatchSize = 3
+	opts.DuplicateRatio = 0.6
+
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run reported %d errors: %+v", rep.Errors, rep)
+	}
+	if rep.Ops != 40 || rep.Singles+rep.Batches != 40 {
+		t.Errorf("op accounting broken: %+v", rep)
+	}
+	if rep.Integrations != rep.Singles+3*rep.Batches {
+		t.Errorf("integration accounting broken: %+v", rep)
+	}
+	if rep.Reused() == 0 {
+		t.Errorf("duplicate ratio 0.6 produced no observed reuse: %+v", rep)
+	}
+	if rep.CacheHits+rep.CacheCoalesced == 0 {
+		t.Errorf("/metrics shows no cache reuse: %+v", rep)
+	}
+	if rep.CacheMisses == 0 {
+		t.Errorf("/metrics shows no misses — did the run reach the server? %+v", rep)
+	}
+	if rep.Latency.Max == 0 || rep.Latency.P50 > rep.Latency.Max {
+		t.Errorf("latency summary broken: %+v", rep.Latency)
+	}
+}
+
+// TestScheduleDeterministic: the op schedule is a pure function of the
+// options.
+func TestScheduleDeterministic(t *testing.T) {
+	opts := corpus(t, 4)
+	opts.BaseURL = "http://unused"
+	opts.Ops = 25
+	opts.BatchRatio = 0.4
+	opts.DuplicateRatio = 0.5
+	opts = opts.withDefaults()
+
+	a, b := schedule(opts), schedule(opts)
+	if len(a) != 25 || len(b) != 25 {
+		t.Fatalf("schedule lengths %d/%d, want 25", len(a), len(b))
+	}
+	dups := 0
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i].batch != b[i].batch {
+			t.Fatalf("op %d batch flag differs", i)
+		}
+		for j := range a[i].indices {
+			if a[i].indices[j] != b[i].indices[j] {
+				t.Fatalf("op %d index %d differs", i, j)
+			}
+			if seen[a[i].indices[j]] {
+				dups++
+			}
+			seen[a[i].indices[j]] = true
+		}
+	}
+	if dups == 0 {
+		t.Error("duplicate ratio 0.5 scheduled no repeats")
+	}
+}
+
+// TestRunValidation: broken options fail before any traffic.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{BaseURL: "http://x"}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	opts := corpus(t, 2)
+	if _, err := Run(context.Background(), opts); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	opts.BaseURL = "http://x"
+	opts.DuplicateRatio = 2
+	if _, err := Run(context.Background(), opts); err == nil {
+		t.Error("DuplicateRatio=2 accepted")
+	}
+}
+
+// TestRunCountsServerErrors: ops that fail are counted, not fatal.
+func TestRunCountsServerErrors(t *testing.T) {
+	opts := corpus(t, 2)
+	// MaxBodyBytes so small every integrate is rejected, while /metrics
+	// still works.
+	srv := httptest.NewServer(server.New(server.Config{MaxBodyBytes: 16}).Handler())
+	t.Cleanup(srv.Close)
+	opts.BaseURL = srv.URL
+	opts.Ops = 5
+
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 5 {
+		t.Errorf("want 5 errors, got %+v", rep)
+	}
+}

@@ -1,0 +1,32 @@
+package loadgen
+
+// Deterministic splitmix64 stream for the op schedule — same idiom as
+// internal/synth and internal/dataset, so a seed fully fixes the request
+// sequence regardless of Go version or platform.
+
+type rng struct{ state uint64 }
+
+func subRNG(seed uint64, iface int, key string) *rng {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for _, b := range []byte(key) {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	z := h + seed + (uint64(iface)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &rng{state: z}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }

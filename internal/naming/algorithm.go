@@ -562,10 +562,32 @@ func classify(res *Result) Class {
 			inconsistent = true
 		}
 	}
+	// §4.2.3's homonym condition at the structural level: labeled sibling
+	// nodes sharing a name present the user two identical entries, so the
+	// assignment cannot be fully consistent even when every group solved
+	// cleanly. Merge produces such siblings when one source group's
+	// members split across units; VerifyViolations reports them, and the
+	// classification must not claim Consistent for a tree Verify rejects.
+	homonyms := false
+	res.Tree.Root.Walk(func(n *schema.Node) bool {
+		seen := map[string]bool{}
+		for _, c := range n.Children {
+			l := strings.ToLower(strings.TrimSpace(c.Label))
+			if l == "" {
+				continue
+			}
+			if seen[l] {
+				homonyms = true
+			}
+			seen[l] = true
+		}
+		return !homonyms
+	})
+
 	switch {
 	case inconsistent:
 		return ClassInconsistent
-	case weak:
+	case weak || homonyms:
 		return ClassWeaklyConsistent
 	default:
 		return ClassConsistent

@@ -1,0 +1,46 @@
+package stem
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestStemGoldenVectors replays the committed table of classic Porter
+// vectors (testdata/porter_vectors.txt, from the published sample
+// vocabulary and the 1980 paper's worked examples). The table is the
+// contract the token layer builds on: any change to porter.go that moves
+// one of these outputs is a divergence from the published algorithm, not a
+// refactor.
+func TestStemGoldenVectors(t *testing.T) {
+	f, err := os.Open("testdata/porter_vectors.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	n := 0
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			t.Fatalf("testdata/porter_vectors.txt:%d: want \"word stem\", got %q", line, text)
+		}
+		word, want := fields[0], fields[1]
+		if got := Stem(word); got != want {
+			t.Errorf("testdata/porter_vectors.txt:%d: Stem(%q) = %q, want %q", line, word, got, want)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n < 100 {
+		t.Errorf("golden table has %d vectors, want at least 100", n)
+	}
+}

@@ -1,0 +1,75 @@
+package synth
+
+import (
+	"qilabel/internal/schema"
+	"qilabel/internal/token"
+)
+
+// SynonymRelabel returns deep copies of the generated trees in which
+// field labels are swapped for synset siblings: for every leaf whose
+// single content word is a member of its concept's synset, the word is
+// replaced by a different member (seeded by relabelSeed), preserving the
+// label's grammatical form. Leaves whose label left the synset (hypernym
+// lift) or carries residual comment words are left untouched, so the
+// transform is a *pure* synonym relabeling by construction — the swapped
+// word is always a lexicon synonym of the original.
+//
+// The metamorphic suite leans on this: integrating a pure-synonym
+// relabeling of a corpus must produce the same match partition and the
+// same consistency class, because the naming algorithm's semantics treat
+// synonyms as equivalent (Definition 8).
+//
+// cfg must be the exact Config the corpus was generated with (the
+// concept blueprint is recomputed from it). The returned count says how
+// many labels were actually swapped.
+func SynonymRelabel(cfg Config, trees []*schema.Tree, relabelSeed uint64) ([]*schema.Tree, int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	concepts, err := blueprint(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	byCluster := make(map[string]concept, len(concepts))
+	for _, c := range concepts {
+		byCluster[c.cluster] = c
+	}
+
+	swapped := 0
+	out := make([]*schema.Tree, len(trees))
+	for i, tr := range trees {
+		cp := tr.Clone()
+		for _, leaf := range cp.Leaves() {
+			c, ok := byCluster[leaf.Cluster]
+			if !ok || len(c.words) < 2 {
+				continue
+			}
+			words := token.RawContentWords(leaf.Label, cfg.Lexicon)
+			if len(words) != 1 {
+				continue
+			}
+			cur, in := words[0], false
+			for _, w := range c.words {
+				if w == cur {
+					in = true
+					break
+				}
+			}
+			if !in {
+				continue // hypernym-lifted or otherwise outside the synset
+			}
+			var alts []string
+			for _, w := range c.words {
+				if w != cur {
+					alts = append(alts, w)
+				}
+			}
+			r := subRNG(relabelSeed, i+1, "relabel:"+c.cluster)
+			leaf.Label = titleCase(alts[r.intn(len(alts))])
+			swapped++
+		}
+		out[i] = cp
+	}
+	return out, swapped, nil
+}

@@ -1,0 +1,47 @@
+package synth
+
+// The generator uses the same splitmix64 + per-component sub-stream idiom
+// as internal/dataset: every (interface, component) pair draws from an
+// independent deterministic stream, so tuning one knob or adding one
+// concept never reshuffles the draws of the others.
+
+type rng struct{ state uint64 }
+
+// subRNG derives an independent stream for one (interface, component)
+// pair. The state passes through the splitmix64 finalizer: without it,
+// per-interface states sit at multiples of the splitmix gamma and their
+// draws correlate badly.
+func subRNG(seed uint64, iface int, key string) *rng {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for _, b := range []byte(key) {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	z := h + seed + (uint64(iface)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &rng{state: z}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n). n must be positive.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// shuffle performs a seeded Fisher–Yates shuffle.
+func shuffle[T any](r *rng, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,518 @@
+// Package synth generates seeded, fully deterministic query-interface
+// corpora: N schema trees that model how N sources in one domain describe
+// the same set of field concepts with diverging labels, grouping and
+// coverage. Vocabulary is drawn from the lexicon, so the synonym and
+// hypernym structure the naming algorithm reasons over is real, and
+// label divergence is produced by the composable perturbations of §3.1
+// (synonym swap, number variation, punctuation/comment noise) plus
+// hypernym lift, field dropout and sibling reorder.
+//
+// Determinism contract: the same Config (including Seed) produces
+// byte-identical trees on every run, on every GOMAXPROCS setting and
+// across processes. Every random draw comes from a per-(interface,
+// component) splitmix64 sub-stream, and the vocabulary is taken from the
+// lexicon's canonical Synsets/HypernymEdges enumerations, so no map
+// iteration order can leak into the output.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"qilabel/internal/lexicon"
+	"qilabel/internal/schema"
+	"qilabel/internal/token"
+)
+
+// Perturb holds the per-source label and structure perturbation rates.
+// Each value is a probability in [0, 1]; the zero value generates a
+// perfectly uniform corpus (every source uses the concept's canonical
+// label, keeps every field and lists siblings in blueprint order).
+type Perturb struct {
+	// SynonymSwap replaces the concept's head word with another member of
+	// its synset ("guests" for "occupants").
+	SynonymSwap float64
+	// NumberVary flips the head word's grammatical number ("adult" ->
+	// "adults"); §3.1's normalization folds it back.
+	NumberVary float64
+	// Noise decorates the label with the punctuation and parenthesized
+	// comments §3.1's preprocessing strips ("*Adults", "Adults:",
+	// "Adults (optional)").
+	Noise float64
+	// HypernymLift replaces the head word with its direct hypernym when
+	// the lexicon has one — the divergence LI3/LI4 exist to resolve.
+	HypernymLift float64
+	// Dropout omits the concept from a source entirely, so clusters
+	// differ in frequency across the corpus.
+	Dropout float64
+	// Reorder shuffles each sibling list of a source with this
+	// probability, so sources disagree on field order.
+	Reorder float64
+}
+
+// Config describes one synthesized domain.
+type Config struct {
+	// Seed drives every deterministic draw.
+	Seed uint64
+	// Domain names the corpus; interface names are "<Domain>-<idx>".
+	Domain string
+	// Sources is the number of interfaces to generate.
+	Sources int
+	// Concepts is the number of distinct field concepts in the domain.
+	// Each concept is backed by one lexicon synset, chosen so that no two
+	// concepts share a word or a synonym (label perturbations therefore
+	// never collapse two concepts into one).
+	Concepts int
+	// GroupFanout is the number of concepts per group node.
+	GroupFanout int
+	// Depth is the tree depth: 1 = all fields at the root, 2 = fields
+	// inside groups, each further level wraps the current top-level
+	// sections pairwise into supersections.
+	Depth int
+	// InstanceRatio is the probability that a concept carries a value
+	// list (drawn from the concept's hyponyms when the lexicon has them).
+	InstanceRatio float64
+	// Lexicon supplies the vocabulary; nil means lexicon.Default().
+	Lexicon *lexicon.Lexicon
+	// Perturb sets the divergence rates.
+	Perturb Perturb
+}
+
+// withDefaults fills the zero values with a small but non-trivial corpus
+// shape: 4 sources over 8 concepts in groups of 3, two levels deep, half
+// the concepts with value lists.
+func (cfg Config) withDefaults() Config {
+	if cfg.Domain == "" {
+		cfg.Domain = "synth"
+	}
+	if cfg.Sources == 0 {
+		cfg.Sources = 4
+	}
+	if cfg.Concepts == 0 {
+		cfg.Concepts = 8
+	}
+	if cfg.GroupFanout == 0 {
+		cfg.GroupFanout = 3
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 2
+	}
+	if cfg.InstanceRatio == 0 {
+		cfg.InstanceRatio = 0.5
+	}
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = lexicon.Default()
+	}
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	if cfg.Sources < 1 {
+		return fmt.Errorf("synth: Sources = %d, need at least 1", cfg.Sources)
+	}
+	if cfg.Concepts < 1 {
+		return fmt.Errorf("synth: Concepts = %d, need at least 1", cfg.Concepts)
+	}
+	if cfg.Depth < 1 || cfg.Depth > 8 {
+		return fmt.Errorf("synth: Depth = %d, want 1..8", cfg.Depth)
+	}
+	if cfg.GroupFanout < 1 {
+		return fmt.Errorf("synth: GroupFanout = %d, need at least 1", cfg.GroupFanout)
+	}
+	for name, p := range map[string]float64{
+		"SynonymSwap": cfg.Perturb.SynonymSwap, "NumberVary": cfg.Perturb.NumberVary,
+		"Noise": cfg.Perturb.Noise, "HypernymLift": cfg.Perturb.HypernymLift,
+		"Dropout": cfg.Perturb.Dropout, "Reorder": cfg.Perturb.Reorder,
+		"InstanceRatio": cfg.InstanceRatio,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("synth: %s = %v outside [0,1]", name, p)
+		}
+	}
+	return nil
+}
+
+// concept is one field of the synthesized domain: a lexicon synset with a
+// canonical head word, the shared cluster annotation every source's field
+// carries, an optional direct hypernym and an optional value list.
+type concept struct {
+	cluster   string
+	canon     string   // canonical head word (labels derive from it)
+	words     []string // all single-word synset members, sorted; words[…] ∋ canon
+	parent    string   // direct hypernym of canon ("" if the lexicon has none)
+	instances []string // value list shared by every source (nil: no instances)
+}
+
+// Generate produces the corpus: cfg.Sources interface trees over the same
+// cfg.Concepts field concepts, each tree perturbed independently. All
+// leaves carry cluster annotations (the annotated-corpus mode); run the
+// pipeline with the matcher to have clusters recomputed from labels and
+// instances instead.
+func Generate(cfg Config) ([]*schema.Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	concepts, err := blueprint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	labels := groupLabels(cfg, concepts)
+	trees := make([]*schema.Tree, cfg.Sources)
+	for i := range trees {
+		trees[i] = genSource(cfg, concepts, labels, i)
+		if err := trees[i].Validate(); err != nil {
+			return nil, fmt.Errorf("synth: generated invalid tree %d: %w", i, err)
+		}
+	}
+	return trees, nil
+}
+
+// Corpus generates n independent source-sets by stepping the seed with
+// the splitmix64 gamma: set k is Generate(cfg with Seed+k·gamma). The
+// load generator replays such corpora against a live server.
+func Corpus(cfg Config, n int) ([][]*schema.Tree, error) {
+	sets := make([][]*schema.Tree, n)
+	for k := range sets {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(k)*0x9e3779b97f4a7c15
+		set, err := Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		sets[k] = set
+	}
+	return sets, nil
+}
+
+// blueprint chooses the domain's concepts from the lexicon: a seeded
+// selection of synsets that are pairwise disjoint not only in members but
+// in their whole synonym closures, so that no perturbation can make two
+// distinct concepts synonymous.
+func blueprint(cfg Config) ([]concept, error) {
+	lex := cfg.Lexicon
+	var candidates [][]string
+	for _, set := range lex.Synsets() {
+		var words []string
+		for _, w := range set {
+			if usableWord(lex, w) {
+				words = append(words, w)
+			}
+		}
+		if len(words) >= 2 {
+			candidates = append(candidates, words)
+		}
+	}
+	r := subRNG(cfg.Seed, 0, "blueprint")
+	shuffle(r, candidates)
+
+	reserved := make(map[string]bool)
+	taken := func(words []string) bool {
+		for _, w := range words {
+			if reserved[w] {
+				return true
+			}
+			for _, syn := range lex.Synonyms(w) {
+				if reserved[syn] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	reserve := func(words []string) {
+		for _, w := range words {
+			reserved[w] = true
+			for _, syn := range lex.Synonyms(w) {
+				reserved[syn] = true
+			}
+		}
+	}
+
+	hypo := hyponymIndex(lex)
+	var concepts []concept
+	for _, words := range candidates {
+		if len(concepts) == cfg.Concepts {
+			break
+		}
+		if taken(words) {
+			continue
+		}
+		reserve(words)
+		canon := words[r.intn(len(words))]
+		c := concept{
+			cluster: "c_" + strings.ReplaceAll(canon, "-", "_"),
+			canon:   canon,
+			words:   words,
+			parent:  directParent(lex, canon),
+		}
+		ir := subRNG(cfg.Seed, 0, "instances:"+c.cluster)
+		if ir.float() < cfg.InstanceRatio {
+			c.instances = valueList(ir, hypo, c)
+		}
+		concepts = append(concepts, c)
+	}
+	if len(concepts) < cfg.Concepts {
+		return nil, fmt.Errorf("synth: lexicon yields only %d disjoint concepts, want %d",
+			len(concepts), cfg.Concepts)
+	}
+	return concepts, nil
+}
+
+// usableWord reports whether a synset member can serve as a field label
+// on its own: it must tokenize back to exactly itself. This rejects
+// multiword phrases, hyphenated compounds (they split into several
+// content words) and — critically — stop words like "within", which have
+// zero content words and therefore relate to nothing; swapping a label to
+// one would silently break the synonymy the generator promises.
+func usableWord(lex *lexicon.Lexicon, w string) bool {
+	words := token.RawContentWords(w, lex)
+	return len(words) == 1 && words[0] == w
+}
+
+// hyponymIndex maps each word to its direct single-word hyponyms, in the
+// canonical edge order.
+func hyponymIndex(lex *lexicon.Lexicon) map[string][]string {
+	idx := make(map[string][]string)
+	for _, e := range lex.HypernymEdges() {
+		parent, child := e[0], e[1]
+		if !strings.Contains(child, " ") {
+			idx[parent] = append(idx[parent], child)
+		}
+	}
+	return idx
+}
+
+// directParent returns the lexicographically first single-word direct
+// hypernym of w, or "".
+func directParent(lex *lexicon.Lexicon, w string) string {
+	for _, e := range lex.HypernymEdges() {
+		if e[1] == w && !strings.Contains(e[0], " ") {
+			return e[0]
+		}
+	}
+	return ""
+}
+
+// valueList builds the concept's shared value list: its hyponyms when the
+// lexicon has at least two (realistic select options: "trip" -> "one-way",
+// "round-trip"), otherwise synthesized "<head> A".. values.
+func valueList(r *rng, hypo map[string][]string, c concept) []string {
+	if kids := hypo[c.canon]; len(kids) >= 2 {
+		vals := append([]string(nil), kids...)
+		if len(vals) > 4 {
+			vals = vals[:4]
+		}
+		return vals
+	}
+	n := 2 + r.intn(3)
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%s %c", c.canon, 'A'+i)
+	}
+	return vals
+}
+
+// genSource emits interface i: apply dropout, derive each surviving
+// field's label through the perturbation chain, chunk fields into groups,
+// wrap sections per Depth and optionally reorder each sibling list.
+func genSource(cfg Config, concepts []concept, labels []string, i int) *schema.Tree {
+	kept := make([]*schema.Node, 0, len(concepts))
+	for ci, c := range concepts {
+		r := subRNG(cfg.Seed, i+1, "drop:"+c.cluster)
+		if cfg.Perturb.Dropout > 0 && r.float() < cfg.Perturb.Dropout {
+			// Never drop a source to zero fields: the anchor concept
+			// (rotating with the interface index) always survives.
+			if ci != i%len(concepts) {
+				kept = append(kept, nil)
+				continue
+			}
+		}
+		field := schema.NewField(fieldLabel(cfg, c, i), c.cluster, sourceInstances(cfg, c, i)...)
+		kept = append(kept, field)
+	}
+
+	// Chunk the surviving fields into groups of GroupFanout, indexing by
+	// concept position so every source agrees on which concepts share a
+	// group (they only disagree on which members survived dropout).
+	var children []*schema.Node
+	if cfg.Depth == 1 {
+		for _, f := range kept {
+			if f != nil {
+				children = append(children, f)
+			}
+		}
+	} else {
+		for start := 0; start < len(concepts); start += cfg.GroupFanout {
+			end := start + cfg.GroupFanout
+			if end > len(concepts) {
+				end = len(concepts)
+			}
+			var members []*schema.Node
+			for _, f := range kept[start:end] {
+				if f != nil {
+					members = append(members, f)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			if len(members) == 1 && end-start == 1 {
+				// A singleton chunk is a bare field, not a group.
+				children = append(children, members[0])
+				continue
+			}
+			children = append(children, schema.NewGroup(labels[start/cfg.GroupFanout], members...))
+		}
+		for level := 3; level <= cfg.Depth; level++ {
+			children = wrapSections(children, level)
+		}
+	}
+
+	tree := schema.NewTree(fmt.Sprintf("%s-%02d", cfg.Domain, i), children...)
+	if cfg.Perturb.Reorder > 0 {
+		reorder(cfg, tree, i)
+	}
+	return tree
+}
+
+// groupLabels names each group of the blueprint: the hypernym of the
+// group's first member when the lexicon has one that no concept uses,
+// otherwise a neutral section title. Labels are identical across sources
+// (group naming has a consistent anchor) and unique across groups — two
+// groups whose lead concepts share a hypernym would otherwise become
+// sibling homonyms, which Verify rightly rejects.
+func groupLabels(cfg Config, concepts []concept) []string {
+	var labels []string
+	used := make(map[string]bool)
+	for start := 0; start < len(concepts); start += cfg.GroupFanout {
+		label := ""
+		c := concepts[start]
+		if c.parent != "" {
+			clash := false
+			for _, other := range concepts {
+				for _, w := range other.words {
+					if w == c.parent {
+						clash = true
+					}
+				}
+			}
+			if cand := titleCase(c.parent) + " Details"; !clash && !used[cand] {
+				label = cand
+			}
+		}
+		if label == "" {
+			label = fmt.Sprintf("Section %d", start/cfg.GroupFanout+1)
+		}
+		used[label] = true
+		labels = append(labels, label)
+	}
+	return labels
+}
+
+// wrapSections pairs adjacent top-level nodes under one supersection per
+// pair, adding one tree level.
+func wrapSections(children []*schema.Node, level int) []*schema.Node {
+	var out []*schema.Node
+	for i := 0; i < len(children); i += 2 {
+		if i+1 == len(children) {
+			out = append(out, children[i])
+			break
+		}
+		label := fmt.Sprintf("Part %d-%d", level, i/2+1)
+		out = append(out, schema.NewGroup(label, children[i], children[i+1]))
+	}
+	return out
+}
+
+// fieldLabel derives interface i's label for concept c: canonical head
+// word, then synonym swap, hypernym lift, number variation and §3.1
+// noise, each from its own sub-stream draw.
+func fieldLabel(cfg Config, c concept, i int) string {
+	r := subRNG(cfg.Seed, i+1, "label:"+c.cluster)
+	word := c.canon
+	if cfg.Perturb.SynonymSwap > 0 && len(c.words) > 1 && r.float() < cfg.Perturb.SynonymSwap {
+		// Pick any sibling other than the canonical word.
+		var alts []string
+		for _, w := range c.words {
+			if w != c.canon {
+				alts = append(alts, w)
+			}
+		}
+		word = alts[r.intn(len(alts))]
+	}
+	if cfg.Perturb.HypernymLift > 0 && c.parent != "" && r.float() < cfg.Perturb.HypernymLift {
+		word = c.parent
+	}
+	if cfg.Perturb.NumberVary > 0 && !strings.HasSuffix(word, "s") && r.float() < cfg.Perturb.NumberVary {
+		word += "s"
+	}
+	label := titleCase(word)
+	if cfg.Perturb.Noise > 0 && r.float() < cfg.Perturb.Noise {
+		label = decorate(r, label)
+	}
+	return label
+}
+
+// decorate applies one piece of §3.1 noise: prefix punctuation, trailing
+// colon, or a parenthesized comment — all stripped by preprocessing.
+func decorate(r *rng, label string) string {
+	switch r.intn(4) {
+	case 0:
+		return "*" + label
+	case 1:
+		return label + ":"
+	case 2:
+		return label + " (optional)"
+	default:
+		return label + " (see below)"
+	}
+}
+
+// sourceInstances returns interface i's view of the concept's value list:
+// the same set for every source (so instance-based matching agrees) in a
+// seeded rotation (so trees are not byte-identical).
+func sourceInstances(cfg Config, c concept, i int) []string {
+	if c.instances == nil {
+		return nil
+	}
+	r := subRNG(cfg.Seed, i+1, "inst:"+c.cluster)
+	k := r.intn(len(c.instances))
+	out := make([]string, 0, len(c.instances))
+	out = append(out, c.instances[k:]...)
+	out = append(out, c.instances[:k]...)
+	return out
+}
+
+// reorder shuffles each sibling list of the tree independently with
+// probability Perturb.Reorder.
+func reorder(cfg Config, tree *schema.Tree, i int) {
+	var walk func(n *schema.Node, path string)
+	walk = func(n *schema.Node, path string) {
+		if len(n.Children) > 1 {
+			r := subRNG(cfg.Seed, i+1, "order:"+path)
+			if r.float() < cfg.Perturb.Reorder {
+				shuffle(r, n.Children)
+			}
+		}
+		for ci, c := range n.Children {
+			walk(c, fmt.Sprintf("%s/%d", path, ci))
+		}
+	}
+	walk(tree.Root, "")
+}
+
+// titleCase capitalizes the first letter of every space- or
+// hyphen-separated word ("round-trip" -> "Round-Trip").
+func titleCase(s string) string {
+	out := []byte(s)
+	up := true
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		if up && 'a' <= c && c <= 'z' {
+			out[i] = c - 'a' + 'A'
+		}
+		up = c == ' ' || c == '-'
+	}
+	return string(out)
+}

@@ -1,0 +1,235 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"qilabel/internal/schema"
+	"qilabel/internal/token"
+)
+
+// encode renders a corpus to canonical bytes for equality checks.
+func encode(t *testing.T, trees []*schema.Tree) []byte {
+	t.Helper()
+	data, err := schema.EncodeTrees(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGenerateDeterministic: the same Config yields byte-identical trees
+// on repeated calls; a different seed yields a different corpus.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Perturb: Perturb{
+		SynonymSwap: 0.5, NumberVary: 0.3, Noise: 0.3,
+		HypernymLift: 0.2, Dropout: 0.2, Reorder: 0.5,
+	}}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, a), encode(t, b)) {
+		t.Fatal("same config, different corpus")
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(encode(t, a), encode(t, c)) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestGenerateShape: knobs control source count, concept count, depth and
+// validity; every leaf carries its concept's cluster annotation.
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Seed: 7, Sources: 6, Concepts: 10, GroupFanout: 4, Depth: 3}
+	trees, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 6 {
+		t.Fatalf("got %d trees, want 6", len(trees))
+	}
+	clusters := make(map[string]bool)
+	for _, tr := range trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", tr.Interface, err)
+		}
+		// schema.Tree.Depth counts the root level too, so a Depth=3
+		// corpus renders as tree depth 4 (root / section / group / field).
+		if d := tr.Depth(); d > 4 {
+			t.Errorf("%s: tree depth %d exceeds Depth=3 corpus bound", tr.Interface, d)
+		}
+		leaves := tr.Leaves()
+		if len(leaves) != 10 {
+			t.Errorf("%s: %d fields, want 10 (no dropout configured)", tr.Interface, len(leaves))
+		}
+		for _, l := range leaves {
+			if l.Cluster == "" {
+				t.Errorf("%s: leaf %q missing cluster annotation", tr.Interface, l.Label)
+			}
+			clusters[l.Cluster] = true
+		}
+	}
+	if len(clusters) != 10 {
+		t.Errorf("corpus spans %d clusters, want 10", len(clusters))
+	}
+
+	flat, err := Generate(Config{Seed: 7, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range flat {
+		if tr.Depth() != 2 {
+			t.Errorf("Depth=1 corpus should be root+fields (tree depth 2), got %d", tr.Depth())
+		}
+	}
+}
+
+// TestGenerateValidation: out-of-range knobs are rejected, and asking for
+// more disjoint concepts than the lexicon can supply fails loudly rather
+// than silently shrinking the domain.
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Perturb: Perturb{Dropout: 1.5}}); err == nil {
+		t.Error("Dropout=1.5 accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, Depth: 9}); err == nil {
+		t.Error("Depth=9 accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, Concepts: 10_000}); err == nil {
+		t.Error("10k disjoint concepts accepted; the lexicon cannot supply that")
+	}
+}
+
+// TestPerturbationsDiversify: with perturbations on, sources disagree on
+// at least one concept's label; with all perturbations off, every source
+// renders every concept identically.
+func TestPerturbationsDiversify(t *testing.T) {
+	labelSets := func(trees []*schema.Tree) map[string]map[string]bool {
+		m := make(map[string]map[string]bool)
+		for _, tr := range trees {
+			for _, l := range tr.Leaves() {
+				if m[l.Cluster] == nil {
+					m[l.Cluster] = make(map[string]bool)
+				}
+				m[l.Cluster][l.Label] = true
+			}
+		}
+		return m
+	}
+
+	uniform, err := Generate(Config{Seed: 5, Sources: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cl, labels := range labelSets(uniform) {
+		if len(labels) != 1 {
+			t.Errorf("unperturbed corpus: cluster %s has %d distinct labels %v", cl, len(labels), labels)
+		}
+	}
+
+	noisy, err := Generate(Config{Seed: 5, Sources: 6, Perturb: Perturb{
+		SynonymSwap: 0.6, NumberVary: 0.4, Noise: 0.4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	for _, labels := range labelSets(noisy) {
+		if len(labels) > 1 {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Error("perturbed corpus: no cluster diverged in labeling")
+	}
+}
+
+// TestDropoutKeepsSourcesNonEmpty: even at extreme dropout every source
+// retains its anchor field and validates.
+func TestDropoutKeepsSourcesNonEmpty(t *testing.T) {
+	trees, err := Generate(Config{Seed: 11, Sources: 8, Perturb: Perturb{Dropout: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trees {
+		if len(tr.Leaves()) == 0 {
+			t.Errorf("%s: dropout emptied the source", tr.Interface)
+		}
+	}
+}
+
+// TestCorpusSteps: Corpus yields n distinct, individually deterministic
+// source-sets.
+func TestCorpusSteps(t *testing.T) {
+	cfg := Config{Seed: 3, Perturb: Perturb{SynonymSwap: 0.5}}
+	sets, err := Corpus(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Corpus(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sets {
+		if !bytes.Equal(encode(t, sets[k]), encode(t, again[k])) {
+			t.Fatalf("corpus set %d not deterministic", k)
+		}
+	}
+	if bytes.Equal(encode(t, sets[0]), encode(t, sets[1])) {
+		t.Error("corpus sets 0 and 1 identical; seed stepping is broken")
+	}
+}
+
+// TestSynonymRelabel: the transform swaps a positive number of labels,
+// every swap stays inside the concept's synset, and untouched trees are
+// not aliased (deep copies).
+func TestSynonymRelabel(t *testing.T) {
+	cfg := Config{Seed: 9, Sources: 5, Concepts: 8}
+	trees, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := encode(t, trees)
+
+	relabeled, swapped, err := SynonymRelabel(cfg, trees, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped == 0 {
+		t.Fatal("relabel swapped nothing; the invariant test would be vacuous")
+	}
+	if !bytes.Equal(before, encode(t, trees)) {
+		t.Fatal("SynonymRelabel mutated its input")
+	}
+
+	lex := cfg.withDefaults().Lexicon
+	origLeaves := make(map[string][]string) // cluster -> labels per position
+	for _, tr := range trees {
+		for _, l := range tr.Leaves() {
+			origLeaves[l.Cluster] = append(origLeaves[l.Cluster], l.Label)
+		}
+	}
+	i := make(map[string]int)
+	for _, tr := range relabeled {
+		for _, l := range tr.Leaves() {
+			orig := origLeaves[l.Cluster][i[l.Cluster]]
+			i[l.Cluster]++
+			if l.Label == orig {
+				continue
+			}
+			ow := token.RawContentWords(orig, lex)
+			nw := token.RawContentWords(l.Label, lex)
+			if len(ow) != 1 || len(nw) != 1 || !lex.Synonym(ow[0], nw[0]) {
+				t.Errorf("swap %q -> %q is not a pure synonym substitution", orig, l.Label)
+			}
+		}
+	}
+}

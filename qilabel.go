@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -291,6 +292,7 @@ func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Re
 		}
 		trees[i] = s.Clone()
 	}
+	canonicalizeSourceOrder(trees)
 	cluster.ExpandOneToMany(trees)
 	stageDone("validate", len(sources))
 
@@ -353,6 +355,24 @@ func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Re
 		}
 	}
 	return res, nil
+}
+
+// canonicalizeSourceOrder sorts the working copies of the sources by their
+// canonical tree hash. CacheKey identifies the source *set* independent of
+// listing order, so the pipeline must produce one result per set: without
+// this sort, position-sensitive tie-breaks (matcher cluster numbering,
+// sibling placement, candidate election) let a cached result differ from a
+// fresh computation over a permuted listing of the same pool. Structurally
+// identical trees compare equal and keep their relative order, which is
+// harmless — they are interchangeable everywhere downstream.
+func canonicalizeSourceOrder(trees []*schema.Tree) {
+	hashes := make(map[*schema.Tree]string, len(trees))
+	for _, tr := range trees {
+		hashes[tr] = tr.CanonicalHash()
+	}
+	sort.SliceStable(trees, func(i, j int) bool {
+		return hashes[trees[i]] < hashes[trees[j]]
+	})
 }
 
 // pruneRareClusters rebuilds the mapping without the clusters appearing on

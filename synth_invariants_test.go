@@ -1,0 +1,197 @@
+package qilabel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"qilabel/internal/synth"
+)
+
+// Metamorphic invariant suite over synthesized corpora: pipeline-wide
+// properties that no golden file can pin, checked across hundreds of
+// seeded source-sets spanning flat and nested shapes, annotated and
+// matcher-clustered modes, and every perturbation the generator offers.
+//
+//	(a) integrating a permutation of the source listing produces the same
+//	    output and the same CacheKey — the property the server's result
+//	    cache is sound against;
+//	(b) serial and parallel runs produce byte-identical output;
+//	(c) a pure-synonym relabeling of the corpus preserves the match
+//	    partition and the consistency class (Definition 8 reasons over
+//	    synonym classes, not strings);
+//	(d) re-integrating the integrated tree is a fixed point;
+//	(e) Result.Verify reports no violation whenever the class is
+//	    Consistent.
+
+// invariantSets is the number of seeded source-sets the suite covers.
+const invariantSets = 200
+
+// invariantConfig derives source-set i's generator configuration: shapes,
+// perturbation mixes and matcher mode all cycle with coprime periods so
+// the cross product is swept evenly.
+func invariantConfig(i int) (synth.Config, bool) {
+	shapes := []synth.Config{
+		{Sources: 3, Concepts: 6, GroupFanout: 3, Depth: 2},
+		{Sources: 4, Concepts: 8, GroupFanout: 3, Depth: 2},
+		{Sources: 5, Concepts: 10, GroupFanout: 4, Depth: 3},
+		{Sources: 4, Concepts: 6, GroupFanout: 2, Depth: 1},
+	}
+	perturbs := []synth.Perturb{
+		{},
+		{SynonymSwap: 0.4, NumberVary: 0.3},
+		{SynonymSwap: 0.5, Noise: 0.4, Reorder: 0.5},
+		{SynonymSwap: 0.3, NumberVary: 0.2, Noise: 0.3, HypernymLift: 0.2, Dropout: 0.2, Reorder: 0.3},
+		{SynonymSwap: 0.6, NumberVary: 0.4, Noise: 0.2, Dropout: 0.3, Reorder: 0.4},
+	}
+	cfg := shapes[i%len(shapes)]
+	cfg.Perturb = perturbs[i%len(perturbs)]
+	cfg.Seed = uint64(i)*0x9e3779b97f4a7c15 + 1
+	cfg.Domain = fmt.Sprintf("inv%03d", i)
+	matcher := i%2 == 1
+	return cfg, matcher
+}
+
+// renderResult serializes everything the pipeline outputs that a client
+// can observe, for byte-level comparison between runs.
+func renderResult(res *Result) string {
+	var b strings.Builder
+	b.WriteString(res.Class.String())
+	b.WriteString("\n")
+	keys := make([]string, 0, len(res.Labels))
+	for k := range res.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, res.Labels[k])
+	}
+	b.WriteString(res.Tree.String())
+	b.WriteString(res.Summary())
+	return b.String()
+}
+
+// permuteSources returns a deterministic non-identity reordering.
+func permuteSources(sources []*Tree) []*Tree {
+	out := make([]*Tree, 0, len(sources))
+	for i := 1; i < len(sources); i += 2 {
+		out = append(out, sources[i])
+	}
+	for i := 0; i < len(sources); i += 2 {
+		out = append(out, sources[i])
+	}
+	return out
+}
+
+// matchPartition extracts the clustering as a canonical set-of-sets
+// string: fields are identified by (interface, leaf position), so the
+// partition compares equal across runs even when cluster names differ.
+func matchPartition(res *Result) string {
+	groups := make(map[string][]string)
+	for _, tr := range res.Merge.Sources {
+		for li, leaf := range tr.Leaves() {
+			if leaf.Cluster == "" {
+				continue
+			}
+			id := fmt.Sprintf("%s#%d", tr.Interface, li)
+			groups[leaf.Cluster] = append(groups[leaf.Cluster], id)
+		}
+	}
+	blocks := make([]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		blocks = append(blocks, strings.Join(members, ","))
+	}
+	sort.Strings(blocks)
+	return strings.Join(blocks, "|")
+}
+
+func TestSynthMetamorphicInvariants(t *testing.T) {
+	for i := 0; i < invariantSets; i++ {
+		i := i
+		t.Run(fmt.Sprintf("set%03d", i), func(t *testing.T) {
+			t.Parallel()
+			cfg, matcher := invariantConfig(i)
+			sources, err := synth.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opts []Option
+			if matcher {
+				opts = append(opts, WithMatcher())
+			}
+
+			res, err := Integrate(sources, opts...)
+			if err != nil {
+				t.Fatalf("integrate: %v", err)
+			}
+			base := renderResult(res)
+
+			// (a) Source-order permutation: same output, same key.
+			perm := permuteSources(sources)
+			permRes, err := Integrate(perm, opts...)
+			if err != nil {
+				t.Fatalf("integrate permuted: %v", err)
+			}
+			if got := renderResult(permRes); got != base {
+				t.Errorf("permuting the source listing changed the output\n--- original\n%s\n--- permuted\n%s", base, got)
+			}
+			if k, kp := CacheKey(sources, opts...), CacheKey(perm, opts...); k != kp {
+				t.Errorf("permuting the source listing changed the cache key: %s vs %s", k, kp)
+			}
+
+			// (b) Serial and parallel runs agree byte for byte.
+			serial, err := Integrate(sources, append([]Option{WithParallelism(1)}, opts...)...)
+			if err != nil {
+				t.Fatalf("serial integrate: %v", err)
+			}
+			parallel, err := Integrate(sources, append([]Option{WithParallelism(8)}, opts...)...)
+			if err != nil {
+				t.Fatalf("parallel integrate: %v", err)
+			}
+			if s, p := renderResult(serial), renderResult(parallel); s != p {
+				t.Errorf("serial and parallel output diverge\n--- serial\n%s\n--- parallel\n%s", s, p)
+			}
+
+			// (c) Pure-synonym relabeling preserves the match partition
+			// and the consistency class.
+			relabeled, swapped, err := synth.SynonymRelabel(cfg, sources, cfg.Seed^0xabcdef)
+			if err != nil {
+				t.Fatalf("relabel: %v", err)
+			}
+			if swapped > 0 {
+				relRes, err := Integrate(relabeled, opts...)
+				if err != nil {
+					t.Fatalf("integrate relabeled: %v", err)
+				}
+				if relRes.Class != res.Class {
+					t.Errorf("synonym relabeling changed the class: %v -> %v", res.Class, relRes.Class)
+				}
+				if matcher {
+					if pa, pb := matchPartition(res), matchPartition(relRes); pa != pb {
+						t.Errorf("synonym relabeling changed the match partition\n--- original\n%s\n--- relabeled\n%s", pa, pb)
+					}
+				}
+			}
+
+			// (d) Re-integrating the integrated tree is a fixed point:
+			// the tree already carries one consistent label per cluster,
+			// so a second pass must not move anything.
+			again, err := Integrate([]*Tree{res.Tree})
+			if err != nil {
+				t.Fatalf("reintegrate: %v", err)
+			}
+			if got, want := again.Tree.String(), res.Tree.String(); got != want {
+				t.Errorf("re-integration moved the integrated tree\n--- first\n%s\n--- second\n%s", want, got)
+			}
+
+			// (e) A Consistent result verifies clean.
+			if res.Class == Consistent {
+				if vs := res.Verify(); len(vs) != 0 {
+					t.Errorf("class is Consistent but Verify reports %d violations; first: %+v", len(vs), vs[0])
+				}
+			}
+		})
+	}
+}
