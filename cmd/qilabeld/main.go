@@ -4,7 +4,7 @@
 //	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s] [-parallelism N]
 //	         [-cache 128] [-cache-file path] [-cache-checkpoint 5m]
 //	         [-max-batch 64] [-max-body 8388608] [-lexicon extra.json]
-//	         [-pprof addr]
+//	         [-session-ttl 15m] [-max-sessions 64] [-pprof addr]
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain-timeout before closing the listener.
@@ -48,6 +48,8 @@ func main() {
 	cacheFile := flag.String("cache-file", "", "persist the result cache to this file (restored at startup, checkpointed periodically, saved on shutdown); empty disables")
 	checkpoint := flag.Duration("cache-checkpoint", 5*time.Minute, "interval between periodic cache snapshots (needs -cache-file; 0 disables periodic checkpoints)")
 	maxBatch := flag.Int("max-batch", 64, "max items per /v1/integrate/batch request")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle eviction horizon for /v1/sessions sessions (negative = never expire)")
+	maxSessions := flag.Int("max-sessions", 64, "max concurrently live /v1/sessions sessions; creating past the cap evicts the least-recently-used")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -61,6 +63,8 @@ func main() {
 		CacheSize:      *cacheSize,
 		Parallelism:    *parallelism,
 		MaxBatchItems:  *maxBatch,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
 	}
 	if *lexFile != "" {
 		data, err := os.ReadFile(*lexFile)

@@ -1,0 +1,147 @@
+package qilabel
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qilabel/internal/synth"
+)
+
+// FuzzDelta drives a Session with arbitrary delta scripts against a
+// mirror multiset, asserting the equivalence gate after every operation:
+// the session's Result must be byte-identical (renderFull: tree, labels,
+// summary, provenance, counters) to a from-scratch integration of the
+// mirror, failed operations must fail from scratch too and leave the
+// state untouched, and an add followed by removing the same source is a
+// no-op. Each script byte encodes one operation: the low two bits select
+// add/remove/update, the high bits select the pool source or target slot.
+func FuzzDelta(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 4, 8, 1, 12, 2}, false)
+	f.Add(uint64(42), []byte{0, 0, 4, 8, 6, 10, 3}, true)
+	f.Add(uint64(7), []byte{0xff, 0x00, 0x81, 0x42, 0x24, 0x18}, false)
+	f.Add(uint64(9), []byte{1, 2, 3}, true)
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte, matcher bool) {
+		pool, err := synth.Generate(synth.Config{
+			Seed: seed, Sources: 5, Concepts: 8, GroupFanout: 3, Depth: 2,
+			Domain:  "fd",
+			Perturb: synth.Perturb{SynonymSwap: 0.4, Noise: 0.3, Dropout: 0.3, Reorder: 0.4},
+		})
+		if err != nil {
+			t.Skip()
+		}
+		var opts []Option
+		if matcher {
+			opts = append(opts, WithMatcher())
+		}
+		sess, err := NewSession(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+
+		// Mirror of the session's source multiset, index-aligned hashes.
+		var current []*Tree
+		var hashes []string
+		drop := func(i int) {
+			current = append(current[:i:i], current[i+1:]...)
+			hashes = append(hashes[:i:i], hashes[i+1:]...)
+		}
+		// check asserts the gate over the mirror; an empty mirror must
+		// yield ErrSessionEmpty instead of a result.
+		check := func(step string) {
+			t.Helper()
+			if len(current) == 0 {
+				if _, err := sess.Result(); err == nil {
+					t.Fatalf("%s: empty session returned a result", step)
+				}
+				return
+			}
+			assertSessionEquals(t, sess, current, opts)
+		}
+		// failedCleanly asserts a failed op matches from-scratch behavior
+		// over the would-be multiset and did not disturb the session.
+		failedCleanly := func(step string, would []*Tree) {
+			t.Helper()
+			if _, serr := Integrate(would, opts...); serr == nil {
+				t.Fatalf("%s: session op failed but from-scratch integration succeeds", step)
+			}
+			if sess.Len() != len(current) {
+				t.Fatalf("%s: failed op changed Len to %d (mirror %d)", step, sess.Len(), len(current))
+			}
+			check(step + " (rollback)")
+		}
+
+		if len(script) > 10 {
+			script = script[:10] // bound the per-input work
+		}
+		for si, b := range script {
+			step := fmt.Sprintf("op %d (byte %#02x)", si, b)
+			sel := int(b >> 2)
+			switch b % 3 {
+			case 0: // add pool[sel]
+				src := pool[sel%len(pool)]
+				h, err := sess.AddSource(ctx, src)
+				if err != nil {
+					failedCleanly(step+" add", append(append([]*Tree(nil), current...), src))
+					continue
+				}
+				current = append(current, src)
+				hashes = append(hashes, h)
+			case 1: // remove the source at slot sel
+				if len(hashes) == 0 {
+					if err := sess.RemoveSource(ctx, "absent"); err == nil {
+						t.Fatalf("%s: removing from an empty session succeeded", step)
+					}
+					continue
+				}
+				i := sel % len(hashes)
+				if err := sess.RemoveSource(ctx, hashes[i]); err != nil {
+					t.Fatalf("%s: removing a present hash failed: %v", step, err)
+				}
+				drop(i)
+			case 2: // update slot sel to pool[sel+1]
+				if len(hashes) == 0 {
+					continue
+				}
+				i := sel % len(hashes)
+				src := pool[(sel+1)%len(pool)]
+				would := append([]*Tree(nil), current...)
+				would[i] = src
+				h, err := sess.UpdateSource(ctx, hashes[i], src)
+				if err != nil {
+					failedCleanly(step+" update", would)
+					continue
+				}
+				current[i] = src
+				hashes[i] = h
+			}
+			check(step)
+		}
+
+		// Add-then-remove is a no-op at whatever state the script reached.
+		before := ""
+		if len(current) > 0 {
+			res, err := sess.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before = renderFull(res)
+		}
+		h, err := sess.AddSource(ctx, pool[0])
+		if err == nil {
+			if err := sess.RemoveSource(ctx, h); err != nil {
+				t.Fatalf("removing the just-added source failed: %v", err)
+			}
+			if len(current) > 0 {
+				res, err := sess.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if after := renderFull(res); after != before {
+					t.Fatalf("add-then-remove changed the result\n--- before\n%s\n--- after\n%s", before, after)
+				}
+			}
+		}
+	})
+}

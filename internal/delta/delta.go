@@ -1,0 +1,198 @@
+// Package delta is the incremental integration engine: the pipeline core
+// shared by the one-shot qilabel.IntegrateContext and the stateful Session
+// (AddSource / RemoveSource / UpdateSource), plus the cross-run caches
+// that make a delta cheap.
+//
+// The engine's contract is *equivalence*: a Session's outcome after any
+// delta sequence is byte-identical to a from-scratch run over the same
+// final source set. That holds by construction — the session runs the
+// exact same pipeline (the one function below), and every cache it
+// consults (the matcher's pair-verdict memo, the naming run memo) stores
+// results of pure functions keyed by the full content those functions
+// read. Reuse changes only what is recomputed, never what comes out; the
+// delta equivalence gate in the root package pins it across the synth and
+// golden corpora, serial and parallel.
+package delta
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"qilabel/internal/cluster"
+	"qilabel/internal/lexicon"
+	"qilabel/internal/match"
+	"qilabel/internal/merge"
+	"qilabel/internal/naming"
+	"qilabel/internal/schema"
+)
+
+// Config mirrors the behavior-affecting fields of qilabel.Config (the
+// root package delegates here and cannot be imported back without a
+// cycle). Field semantics are identical.
+type Config struct {
+	Lexicon          *lexicon.Lexicon
+	UseMatcher       bool
+	DisableInstances bool
+	MaxLevel         int
+	MinFrequency     int
+	Parallelism      int
+	// ReferenceKernels routes the run through the unoptimized reference
+	// kernels and bypasses every cross-run cache: each delta is a full
+	// from-scratch recomputation. Test-only, like qilabel's unexported
+	// twin.
+	ReferenceKernels bool
+}
+
+// Outcome is one pipeline run's full output: the working trees (clones,
+// canonically ordered, 1:m-expanded, matcher-annotated), the cluster
+// mapping, and the merge and naming results.
+type Outcome struct {
+	Trees   []*schema.Tree
+	Mapping *cluster.Mapping
+	Merge   *merge.Result
+	Naming  *naming.Result
+}
+
+// Caches is the cross-run state a Session threads through consecutive
+// pipeline runs. A nil Caches (or nil fields) degrades to a full
+// recomputation — the one-shot path.
+type Caches struct {
+	Match  *match.Memo
+	Naming *naming.RunMemo
+}
+
+// ErrNoSources is returned by a run over an empty source set; the string
+// matches qilabel's historical error.
+var ErrNoSources = errors.New("qilabel: no source interfaces")
+
+// ErrNoClusters is returned when no field of any source carries a cluster
+// (annotated or matcher-assigned); the string matches qilabel's
+// historical error.
+var ErrNoClusters = errors.New("qilabel: no clusters; annotate the sources or use WithMatcher")
+
+// Run executes the integration pipeline over the given trees: canonical
+// ordering, 1:m expansion, matching (if configured), merging and naming.
+// Run owns the trees — callers pass clones they will not reuse. The
+// observe hook, when non-nil, receives one call per completed stage
+// ("match", "merge", "naming") with the stage's unit count; the caller
+// tracks durations.
+func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, observe func(stage string, units int)) (*Outcome, error) {
+	if len(trees) == 0 {
+		return nil, ErrNoSources
+	}
+	if observe == nil {
+		observe = func(string, int) {}
+	}
+	CanonicalizeSourceOrder(trees)
+	cluster.ExpandOneToMany(trees)
+
+	if cfg.UseMatcher {
+		// After expansion, so matcher-assigned clusters replace every
+		// annotation uniformly (including the expanded 1:m children).
+		var n int
+		var err error
+		if caches != nil && caches.Match != nil && !cfg.ReferenceKernels {
+			n, err = caches.Match.AssignIncremental(ctx, trees)
+		} else {
+			sem := naming.NewSemantics(cfg.Lexicon)
+			if cfg.ReferenceKernels {
+				sem = naming.NewSemanticsUnmemoized(cfg.Lexicon)
+			}
+			n, err = match.AssignContext(ctx, trees, match.Options{
+				Semantics:       sem,
+				Parallelism:     cfg.Parallelism,
+				DisableBlocking: cfg.ReferenceKernels,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		observe("match", n)
+	}
+	m, err := cluster.FromTrees(trees)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MinFrequency > 1 {
+		m = PruneRareClusters(trees, m, cfg.MinFrequency)
+	}
+	if len(m.Clusters) == 0 {
+		return nil, ErrNoClusters
+	}
+	mr, err := merge.MergeContext(ctx, trees, m)
+	if err != nil {
+		return nil, err
+	}
+	observe("merge", len(m.Clusters))
+
+	var namingMemo *naming.RunMemo
+	if caches != nil && !cfg.ReferenceKernels {
+		namingMemo = caches.Naming
+	}
+	nres, err := naming.RunContext(ctx, mr, naming.Options{
+		Lexicon:          cfg.Lexicon,
+		MaxLevel:         naming.Level(cfg.MaxLevel),
+		DisableInstances: cfg.DisableInstances,
+		Parallelism:      cfg.Parallelism,
+		DisableMemo:      cfg.ReferenceKernels,
+		Memo:             namingMemo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	observe("naming", len(nres.Groups)+len(nres.Nodes))
+
+	return &Outcome{Trees: trees, Mapping: m, Merge: mr, Naming: nres}, nil
+}
+
+// CanonicalizeSourceOrder sorts the working copies of the sources by their
+// canonical tree hash. CacheKey identifies the source *set* independent of
+// listing order, so the pipeline must produce one result per set: without
+// this sort, position-sensitive tie-breaks (matcher cluster numbering,
+// sibling placement, candidate election) let a cached result differ from a
+// fresh computation over a permuted listing of the same pool. Structurally
+// identical trees compare equal and keep their relative order, which is
+// harmless — they are interchangeable everywhere downstream.
+func CanonicalizeSourceOrder(trees []*schema.Tree) {
+	hashes := make(map[*schema.Tree]string, len(trees))
+	for _, tr := range trees {
+		hashes[tr] = tr.CanonicalHash()
+	}
+	sort.SliceStable(trees, func(i, j int) bool {
+		return hashes[trees[i]] < hashes[trees[j]]
+	})
+}
+
+// PruneRareClusters rebuilds the mapping without the clusters appearing on
+// fewer than minFreq interfaces and clears their leaves' annotations so
+// the merge ignores those fields.
+func PruneRareClusters(trees []*schema.Tree, m *cluster.Mapping, minFreq int) *cluster.Mapping {
+	drop := make(map[string]bool)
+	var keep []*cluster.Cluster
+	for _, c := range m.Clusters {
+		if c.Frequency() < minFreq {
+			drop[c.Name] = true
+			continue
+		}
+		keep = append(keep, c)
+	}
+	if len(drop) == 0 {
+		return m
+	}
+	for _, t := range trees {
+		for _, leaf := range t.Leaves() {
+			if drop[leaf.Cluster] {
+				leaf.Cluster = ""
+			}
+		}
+	}
+	return cluster.NewMapping(keep...)
+}
+
+// stamp is a tiny helper session ops use to time a run.
+func stamp() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}

@@ -1,0 +1,325 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"qilabel/internal/schema"
+)
+
+// SessionOptions configures one delta-replay run: every corpus set is
+// replayed as one /v1/sessions session — its sources added one at a time,
+// one source removed and re-added — with per-delta latencies recorded.
+// For every delta the run also times the full /v1/integrate the same
+// state change would have cost without sessions, so the report compares
+// incremental and from-scratch latency over the identical workload.
+type SessionOptions struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Corpus is the pool of source-sets; each set becomes one session's
+	// delta schedule.
+	Corpus [][]*schema.Tree
+	// Sessions is the number of sessions to replay (default: one per
+	// corpus set; more than len(Corpus) wraps around).
+	Sessions int
+	// Concurrency is the number of concurrent sessions. Default 4.
+	Concurrency int
+	// Matcher asks the server to recompute clusters from labels and
+	// instances rather than trusting the corpus annotations.
+	Matcher bool
+	// SkipBaseline disables the full-reintegration timings (halves the
+	// requests when only delta latencies matter).
+	SkipBaseline bool
+	// Seed drives the deterministic removal choice per session.
+	Seed uint64
+	// Timeout bounds each HTTP request. Default 30s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject one bound to an
+	// in-process handler).
+	Client *http.Client
+}
+
+// SessionReport is the outcome of one delta-replay run.
+type SessionReport struct {
+	// Sessions counts sessions driven to completion (created and closed).
+	Sessions int `json:"sessions"`
+	// Deltas counts delta operations (adds + removes) across all sessions.
+	Deltas int `json:"deltas"`
+	// Results counts GET result reads.
+	Results int `json:"results"`
+	// Baselines counts full /v1/integrate calls timed for comparison.
+	Baselines int `json:"baselines"`
+	// Errors counts failed requests of any kind.
+	Errors int `json:"errors"`
+	// DeltaLatency summarizes per-delta-op round-trip times; FullLatency
+	// summarizes the matching from-scratch integrations of the same
+	// source-set states (zero when SkipBaseline).
+	DeltaLatency Percentiles `json:"deltaLatency"`
+	FullLatency  Percentiles `json:"fullLatency"`
+	// Duration is the wall-clock time of the whole run.
+	Duration time.Duration `json:"duration"`
+
+	// Server-side /metrics sessions counter deltas across the run.
+	DeltaOps             int64 `json:"deltaOps"`
+	ReusedComponents     int64 `json:"reusedComponents"`
+	RecomputedComponents int64 `json:"recomputedComponents"`
+}
+
+func (o SessionOptions) withDefaults() SessionOptions {
+	if o.Sessions == 0 {
+		o.Sessions = len(o.Corpus)
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 4
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+func (o SessionOptions) validate() error {
+	if len(o.Corpus) == 0 {
+		return errors.New("loadgen: empty corpus")
+	}
+	if o.BaseURL == "" {
+		return errors.New("loadgen: BaseURL required")
+	}
+	return nil
+}
+
+// RunSessions executes the delta replay and returns the report. As with
+// Run, only setup problems fail the call; per-request failures are
+// counted in the report.
+func RunSessions(ctx context.Context, opts SessionOptions) (*SessionReport, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	before, err := scrapeSessions(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics before run: %w", err)
+	}
+
+	var (
+		mu     sync.Mutex
+		report SessionReport
+		deltas []time.Duration
+		fulls  []time.Duration
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res := runSession(ctx, opts, i)
+				mu.Lock()
+				if res.completed {
+					report.Sessions++
+				}
+				report.Deltas += len(res.deltas)
+				report.Results += res.results
+				report.Baselines += len(res.fulls)
+				report.Errors += res.errors
+				deltas = append(deltas, res.deltas...)
+				fulls = append(fulls, res.fulls...)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.Sessions; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	report.Duration = time.Since(start)
+	report.DeltaLatency = percentiles(deltas)
+	report.FullLatency = percentiles(fulls)
+
+	after, err := scrapeSessions(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics after run: %w", err)
+	}
+	for op, n := range after.DeltaOps {
+		report.DeltaOps += n - before.DeltaOps[op]
+	}
+	report.ReusedComponents = after.Reused - before.Reused
+	report.RecomputedComponents = after.Recomputed - before.Recomputed
+	return &report, nil
+}
+
+// sessionResult is one session's contribution to the report.
+type sessionResult struct {
+	completed     bool
+	deltas, fulls []time.Duration
+	results       int
+	errors        int
+}
+
+// runSession drives one session: create, add every source of its corpus
+// set (timing each add, and optionally the full integrate of the same
+// prefix), read the result, remove and re-add one source, close.
+func runSession(ctx context.Context, opts SessionOptions, i int) sessionResult {
+	var res sessionResult
+	set := opts.Corpus[i%len(opts.Corpus)]
+	r := subRNG(opts.Seed, i, "session")
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := doSessionJSON(ctx, opts, http.MethodPost, "/v1/sessions",
+		map[string]any{"options": map[string]any{"matcher": opts.Matcher}}, &created); err != nil || created.ID == "" {
+		res.errors++
+		return res
+	}
+	base := "/v1/sessions/" + created.ID
+
+	var hashes []string
+	addOne := func(src *schema.Tree) bool {
+		var op struct {
+			Hash string `json:"hash"`
+		}
+		t0 := time.Now()
+		err := doSessionJSON(ctx, opts, http.MethodPost, base+"/sources",
+			map[string]any{"source": src}, &op)
+		lat := time.Since(t0)
+		if err != nil || op.Hash == "" {
+			res.errors++
+			return false
+		}
+		res.deltas = append(res.deltas, lat)
+		hashes = append(hashes, op.Hash)
+		return true
+	}
+	fullOne := func(prefix []*schema.Tree) {
+		if opts.SkipBaseline {
+			return
+		}
+		t0 := time.Now()
+		err := doSessionJSON(ctx, opts, http.MethodPost, "/v1/integrate", integrateBody{
+			Sources: prefix,
+			Options: requestOpts{Matcher: opts.Matcher},
+		}, &struct{}{})
+		if err != nil {
+			res.errors++
+			return
+		}
+		res.fulls = append(res.fulls, time.Since(t0))
+	}
+
+	for k, src := range set {
+		if !addOne(src) {
+			return res
+		}
+		fullOne(set[:k+1])
+	}
+
+	// One churn cycle: remove a random source, then restore it.
+	if len(hashes) > 0 {
+		j := r.intn(len(hashes))
+		t0 := time.Now()
+		if err := doSessionJSON(ctx, opts, http.MethodDelete, base+"/sources/"+hashes[j], nil, &struct{}{}); err != nil {
+			res.errors++
+		} else {
+			res.deltas = append(res.deltas, time.Since(t0))
+			if !addOne(set[j]) {
+				return res
+			}
+			fullOne(set)
+		}
+	}
+
+	if err := doSessionJSON(ctx, opts, http.MethodGet, base+"/result", nil, &struct{}{}); err != nil {
+		res.errors++
+	} else {
+		res.results++
+	}
+	if err := doSessionJSON(ctx, opts, http.MethodDelete, base, nil, &struct{}{}); err != nil {
+		res.errors++
+		return res
+	}
+	res.completed = true
+	return res
+}
+
+// doSessionJSON issues one request with an optional JSON body and decodes
+// a 200 reply into out; any other status is an error.
+func doSessionJSON(ctx context.Context, opts SessionOptions, method, path string, body any, out any) error {
+	var reader *strings.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = strings.NewReader(string(data))
+	} else {
+		reader = strings.NewReader("")
+	}
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method,
+		strings.TrimSuffix(opts.BaseURL, "/")+path, reader)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sessionCounters is the /metrics sessions section the replay reads.
+type sessionCounters struct {
+	DeltaOps   map[string]int64 `json:"deltaOps"`
+	Reused     int64            `json:"reusedComponents"`
+	Recomputed int64            `json:"recomputedComponents"`
+}
+
+func scrapeSessions(ctx context.Context, opts SessionOptions) (sessionCounters, error) {
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(opts.BaseURL, "/")+"/metrics", nil)
+	if err != nil {
+		return sessionCounters{}, err
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return sessionCounters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sessionCounters{}, fmt.Errorf("/metrics returned %s", resp.Status)
+	}
+	var snap struct {
+		Sessions sessionCounters `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return sessionCounters{}, err
+	}
+	return snap.Sessions, nil
+}

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+
+	"qilabel/internal/schema"
+	"qilabel/internal/synth"
+)
+
+// TestRunSessionsAgainstServer: the delta replay drives every corpus set
+// through a full session lifecycle with zero request errors, records one
+// latency sample per delta op plus the matching full-reintegration
+// baselines, and sees the server's delta counters move.
+func TestRunSessionsAgainstServer(t *testing.T) {
+	// Dropout keeps per-source concept coverage partial so single-source
+	// deltas leave untouched clusters behind to reuse.
+	c, err := synth.Corpus(synth.Config{
+		Seed: 12, Sources: 3, Concepts: 8,
+		Perturb: synth.Perturb{SynonymSwap: 0.4, Noise: 0.3, Dropout: 0.5},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSessions(context.Background(), SessionOptions{
+		BaseURL:     startServer(t),
+		Corpus:      c,
+		Sessions:    6, // wraps past the corpus to exercise reuse across sessions
+		Concurrency: 3,
+		Seed:        99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("replay reported %d errors: %+v", rep.Errors, rep)
+	}
+	if rep.Sessions != 6 {
+		t.Errorf("completed %d sessions, want 6", rep.Sessions)
+	}
+	// Each session: 3 adds + 1 remove + 1 re-add = 5 deltas, 4 baselines.
+	if rep.Deltas != 6*5 {
+		t.Errorf("deltas = %d, want %d", rep.Deltas, 6*5)
+	}
+	if rep.Baselines != 6*4 {
+		t.Errorf("baselines = %d, want %d", rep.Baselines, 6*4)
+	}
+	if rep.Results != 6 {
+		t.Errorf("results = %d, want 6", rep.Results)
+	}
+	if rep.DeltaOps != int64(rep.Deltas) {
+		t.Errorf("server delta-op counter %d != client deltas %d", rep.DeltaOps, rep.Deltas)
+	}
+	if rep.ReusedComponents == 0 || rep.RecomputedComponents == 0 {
+		t.Errorf("delta counters did not move: %+v", rep)
+	}
+	if rep.DeltaLatency.P50 == 0 || rep.FullLatency.P50 == 0 {
+		t.Errorf("latency percentiles missing: %+v", rep)
+	}
+}
+
+// TestRunSessionsSkipBaseline: no /v1/integrate calls are issued when the
+// baseline is off.
+func TestRunSessionsSkipBaseline(t *testing.T) {
+	c, err := synth.Corpus(synth.Config{
+		Seed: 5, Sources: 2, Concepts: 4,
+		Perturb: synth.Perturb{SynonymSwap: 0.4},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSessions(context.Background(), SessionOptions{
+		BaseURL:      startServer(t),
+		Corpus:       c,
+		SkipBaseline: true,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Baselines != 0 || rep.FullLatency.Max != 0 {
+		t.Fatalf("baseline requests issued with SkipBaseline: %+v", rep)
+	}
+	if rep.Sessions != 2 || rep.Deltas != 2*4 {
+		t.Fatalf("accounting broken: %+v", rep)
+	}
+}
+
+// TestRunSessionsValidation mirrors TestRunValidation for the replay.
+func TestRunSessionsValidation(t *testing.T) {
+	if _, err := RunSessions(context.Background(), SessionOptions{BaseURL: "http://x"}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := RunSessions(context.Background(), SessionOptions{Corpus: make([][]*schema.Tree, 1)}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Incremental matching: the delta session's matcher path. A Memo persists
+// the expensive per-field and per-pair work — block keys and pairwise
+// verdicts — across runs over evolving source sets, keyed by field
+// *content* (trimmed label plus normalized instance set), the exact input
+// matchFields and blockKeys read. Cluster names still renumber globally on
+// every run (they follow field order), but renaming is linear and cheap;
+// what the memo removes is the pairwise similarity evaluation for every
+// pair whose two endpoints both existed in an earlier run.
+package match
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qilabel/internal/lexicon"
+	"qilabel/internal/naming"
+	"qilabel/internal/schema"
+)
+
+// verdictLimit bounds the pair-verdict cache; past it the cache is cleared
+// wholesale. Verdicts are pure functions of the two fields' content, so a
+// clear costs recomputation, never correctness.
+const verdictLimit = 1 << 18
+
+// keyLimit bounds the per-field block-key cache.
+const keyLimit = 1 << 16
+
+// Memo carries matcher state across incremental runs: a persistent
+// Semantics (whose Relate memo warms up once instead of per run), the
+// block keys per field content, and the match verdict per unordered pair
+// of field contents. The matching threshold and prefix are fixed at
+// construction — a verdict depends on the threshold, so one memo serves
+// one configuration.
+type Memo struct {
+	sem        *naming.Semantics
+	minOverlap float64
+	prefix     string
+	keys       map[string][]string // field content key -> block keys
+	verdicts   map[string]bool     // unordered pair key -> matched
+
+	// Per-run statistics, reset by each AssignIncremental call.
+	stats DeltaStats
+}
+
+// DeltaStats reports one incremental run's reuse profile.
+type DeltaStats struct {
+	// Fields is the number of leaves matched.
+	Fields int
+	// KeysComputed counts fields whose block keys were not in the memo
+	// (fresh content).
+	KeysComputed int
+	// PairsEvaluated counts full matchFields evaluations (verdict-cache
+	// misses); PairHits counts pairs answered from the cache.
+	PairsEvaluated int
+	PairHits       int
+	// Touched marks fields that participated in fresh work — a fresh key
+	// computation or a fresh pair evaluation. Untouched fields had every
+	// candidate pair answered from the cache.
+	Touched []bool
+}
+
+// NewMemo returns an empty matcher memo over the given lexicon with the
+// default threshold and cluster prefix (the configuration Assign uses when
+// Options carry the zero values).
+func NewMemo(lex *lexicon.Lexicon) *Memo {
+	return &Memo{
+		sem:        naming.NewSemantics(lex),
+		minOverlap: 0.5,
+		prefix:     "m",
+		keys:       make(map[string][]string),
+		verdicts:   make(map[string]bool),
+	}
+}
+
+// Stats returns the statistics of the last AssignIncremental run.
+func (m *Memo) Stats() DeltaStats { return m.stats }
+
+// contentKey serializes exactly the field content the similarity signals
+// read: the trimmed label and the normalized (case-folded, trimmed,
+// deduplicated) instance value set, sorted for stability. Fields with
+// equal content keys receive identical verdicts against any third field.
+func contentKey(f *fieldInfo) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(len(f.label)))
+	b.WriteByte(':')
+	b.WriteString(f.label)
+	vals := make([]string, 0, len(f.inst))
+	for v := range f.inst {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	for _, v := range vals {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// pairKey combines two content keys order-independently (matchFields is
+// symmetric).
+func pairKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return strconv.Itoa(len(a)) + ":" + a + b
+}
+
+// AssignIncremental is AssignContext with the memo's threshold and prefix,
+// reusing cached block keys and pair verdicts. The candidate generation,
+// the union-find and the occurrence-splitting naming pass are shared with
+// AssignContext, and matchFields is a pure symmetric function of the
+// content the cache keys cover, so the assignment is identical to a
+// from-scratch AssignContext over the same trees (pinned by
+// TestAssignIncrementalEquivalence and the delta equivalence gate). The
+// pass is serial: a warm run's work is dominated by map lookups, not
+// similarity evaluations, so there is nothing left worth fanning out.
+func (m *Memo) AssignIncremental(ctx context.Context, trees []*schema.Tree) (int, error) {
+	fields := collectFields(trees)
+	m.stats = DeltaStats{Fields: len(fields), Touched: make([]bool, len(fields))}
+
+	// Block keys per field, from cache where the content was seen before.
+	ckeys := make([]string, len(fields))
+	keys := make([][]string, len(fields))
+	index := make(map[string][]int)
+	for i := range fields {
+		ckeys[i] = contentKey(&fields[i])
+		ks, ok := m.keys[ckeys[i]]
+		if !ok {
+			ks = blockKeys(m.sem, &fields[i], m.minOverlap)
+			if len(m.keys) >= keyLimit {
+				m.keys = make(map[string][]string)
+			}
+			m.keys[ckeys[i]] = ks
+			m.stats.KeysComputed++
+			m.stats.Touched[i] = true
+		}
+		keys[i] = ks
+		for _, k := range ks {
+			index[k] = append(index[k], i)
+		}
+	}
+
+	matches := make([][]int, len(fields))
+	for i := range fields {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		fi := &fields[i]
+		// Candidates exactly as AssignContext generates them: fields after
+		// i sharing at least one block key, deduplicated, ascending.
+		var cand []int
+		for _, k := range keys[i] {
+			for _, j := range index[k] {
+				if j > i && fields[j].iface != fi.iface {
+					cand = append(cand, j)
+				}
+			}
+		}
+		sort.Ints(cand)
+		for c, j := range cand {
+			if c > 0 && cand[c-1] == j {
+				continue
+			}
+			pk := pairKey(ckeys[i], ckeys[j])
+			verdict, ok := m.verdicts[pk]
+			if !ok {
+				verdict = matchFields(m.sem, fi, &fields[j], m.minOverlap)
+				if len(m.verdicts) >= verdictLimit {
+					m.verdicts = make(map[string]bool)
+				}
+				m.verdicts[pk] = verdict
+				m.stats.PairsEvaluated++
+				m.stats.Touched[i] = true
+				m.stats.Touched[j] = true
+			} else {
+				m.stats.PairHits++
+			}
+			if verdict {
+				matches[i] = append(matches[i], j)
+			}
+		}
+	}
+	return clusterize(fields, matches, m.prefix), nil
+}

@@ -1,0 +1,122 @@
+package match
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qilabel/internal/schema"
+	"qilabel/internal/synth"
+)
+
+// incrementalCorpus generates a synthetic domain and strips the cluster
+// annotations so the matcher has real work to do.
+func incrementalCorpus(t *testing.T, seed uint64, sources int) []*schema.Tree {
+	t.Helper()
+	trees, err := synth.Generate(synth.Config{
+		Seed:    seed,
+		Domain:  fmt.Sprintf("inc%d", seed),
+		Sources: sources,
+		Perturb: synth.Perturb{SynonymSwap: 0.4, Noise: 0.3, Dropout: 0.2, Reorder: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trees {
+		for _, leaf := range tr.Leaves() {
+			leaf.Cluster = ""
+		}
+	}
+	return trees
+}
+
+func cloneTrees(trees []*schema.Tree) []*schema.Tree {
+	out := make([]*schema.Tree, len(trees))
+	for i, tr := range trees {
+		out[i] = tr.Clone()
+	}
+	return out
+}
+
+func assertSameAssignment(t *testing.T, step string, a, b []*schema.Tree) {
+	t.Helper()
+	for i := range a {
+		la, lb := a[i].Leaves(), b[i].Leaves()
+		if len(la) != len(lb) {
+			t.Fatalf("%s: tree %d leaf count %d vs %d", step, i, len(la), len(lb))
+		}
+		for j := range la {
+			if la[j].Cluster != lb[j].Cluster {
+				t.Fatalf("%s: tree %d leaf %d (%q): cluster %q vs %q",
+					step, i, j, la[j].Label, la[j].Cluster, lb[j].Cluster)
+			}
+		}
+	}
+}
+
+// TestAssignIncrementalEquivalence pins the delta matcher's contract: over
+// any source set, a warm AssignIncremental produces the exact cluster
+// assignment of a from-scratch AssignContext — as the set grows source by
+// source, the way a delta session feeds it.
+func TestAssignIncrementalEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			trees := incrementalCorpus(t, seed, 6)
+			memo := NewMemo(nil)
+			ctx := context.Background()
+			for n := 1; n <= len(trees); n++ {
+				warm := cloneTrees(trees[:n])
+				cold := cloneTrees(trees[:n])
+				nw, err := memo.AssignIncremental(ctx, warm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nc, err := AssignContext(ctx, cold, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nw != nc {
+					t.Fatalf("n=%d: %d clusters incremental vs %d from scratch", n, nw, nc)
+				}
+				assertSameAssignment(t, fmt.Sprintf("n=%d", n), warm, cold)
+				if n > 1 && memo.Stats().PairHits == 0 && memo.Stats().PairsEvaluated == 0 {
+					t.Fatalf("n=%d: matcher did no pair work at all", n)
+				}
+			}
+		})
+	}
+}
+
+// TestAssignIncrementalReuse: re-running over unchanged content answers
+// every block key and pair verdict from the memo.
+func TestAssignIncrementalReuse(t *testing.T) {
+	trees := incrementalCorpus(t, 7, 5)
+	memo := NewMemo(nil)
+	ctx := context.Background()
+	if _, err := memo.AssignIncremental(ctx, cloneTrees(trees)); err != nil {
+		t.Fatal(err)
+	}
+	first := memo.Stats()
+	if first.KeysComputed == 0 || first.PairsEvaluated == 0 {
+		t.Fatalf("cold run did no fresh work: %+v", first)
+	}
+	if _, err := memo.AssignIncremental(ctx, cloneTrees(trees)); err != nil {
+		t.Fatal(err)
+	}
+	second := memo.Stats()
+	if second.KeysComputed != 0 || second.PairsEvaluated != 0 {
+		t.Fatalf("warm run recomputed: %+v", second)
+	}
+	// Every candidate pair of the warm run is a hit. The cold run saw the
+	// same pairs, some already answered within the run (equal-content
+	// fields share a verdict key), so hits+evaluations must match.
+	if second.PairHits != first.PairsEvaluated+first.PairHits {
+		t.Fatalf("warm run answered %d pairs from cache, cold run saw %d",
+			second.PairHits, first.PairsEvaluated+first.PairHits)
+	}
+	for i, touched := range second.Touched {
+		if touched {
+			t.Fatalf("warm run touched field %d", i)
+		}
+	}
+}

@@ -96,20 +96,7 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 		prefix = "m"
 	}
 
-	var fields []fieldInfo
-	for _, t := range trees {
-		for _, leaf := range t.Leaves() {
-			f := fieldInfo{leaf: leaf, iface: t.Interface,
-				label: strings.TrimSpace(leaf.Label)}
-			if len(leaf.Instances) > 0 {
-				f.inst = make(map[string]bool, len(leaf.Instances))
-				for _, v := range leaf.Instances {
-					f.inst[strings.ToLower(strings.TrimSpace(v))] = true
-				}
-			}
-			fields = append(fields, f)
-		}
-	}
+	fields := collectFields(trees)
 
 	// The shared analysis table normalizes every field label once; each
 	// worker's Semantics reads it instead of re-analyzing into a cold
@@ -193,7 +180,35 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 	if err != nil {
 		return 0, err
 	}
+	return clusterize(fields, matches, prefix), nil
+}
 
+// collectFields flattens the trees' leaves into fieldInfos with the
+// normalizations the similarity signals need, computed once instead of per
+// pair.
+func collectFields(trees []*schema.Tree) []fieldInfo {
+	var fields []fieldInfo
+	for _, t := range trees {
+		for _, leaf := range t.Leaves() {
+			f := fieldInfo{leaf: leaf, iface: t.Interface,
+				label: strings.TrimSpace(leaf.Label)}
+			if len(leaf.Instances) > 0 {
+				f.inst = make(map[string]bool, len(leaf.Instances))
+				for _, v := range leaf.Instances {
+					f.inst[strings.ToLower(strings.TrimSpace(v))] = true
+				}
+			}
+			fields = append(fields, f)
+		}
+	}
+	return fields
+}
+
+// clusterize turns the pairwise match lists into cluster annotations on
+// the leaves and returns the number of clusters formed. It is shared by
+// the one-shot and incremental matchers, so their outputs can only differ
+// if their match sets differ.
+func clusterize(fields []fieldInfo, matches [][]int, prefix string) int {
 	parent := make([]int, len(fields))
 	for i := range parent {
 		parent[i] = i
@@ -249,7 +264,7 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 		}
 		f.leaf.Cluster = name
 	}
-	return next - 1, nil
+	return next - 1
 }
 
 // blockKeys derives the block keys of a field. Each key family mirrors one

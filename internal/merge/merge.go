@@ -397,15 +397,23 @@ func buildTree(accepted []*unit, universe map[string]bool, pos map[string]float6
 	}
 	children := make(map[*schema.Node][]childEntry)
 	unitPos := func(u *unit) float64 {
-		s, n := 0.0, 0
+		// Sum in sorted cluster order: float addition is not associative,
+		// so summing in map-iteration order yields ULP-different averages
+		// across runs, which can flip the sibling sort between children
+		// with near-equal positions.
+		cs := make([]string, 0, len(u.clusters))
 		for c := range u.clusters {
-			s += pos[c]
-			n++
+			cs = append(cs, c)
 		}
-		if n == 0 {
+		if len(cs) == 0 {
 			return 1
 		}
-		return s / float64(n)
+		sort.Strings(cs)
+		s := 0.0
+		for _, c := range cs {
+			s += pos[c]
+		}
+		return s / float64(len(cs))
 	}
 	for _, u := range bys {
 		p := parentOf(u)

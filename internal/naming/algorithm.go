@@ -65,6 +65,14 @@ type Options struct {
 	// so this can only change speed, never output — the equivalence tests
 	// run both ways to enforce exactly that. Diagnostics/tests only.
 	DisableMemo bool
+	// Memo, when non-nil, caches group solves and isolated-cluster
+	// elections across runs, keyed by content signatures; a run over a
+	// slightly changed source set then recomputes only the groups the
+	// change touched. Both units are pure functions of what the signatures
+	// cover, so reuse cannot change the output (the delta equivalence gate
+	// pins this byte for byte). The memo must not be shared between
+	// concurrent runs.
+	Memo *RunMemo
 }
 
 // GroupReport records the solving of one group.
@@ -184,16 +192,53 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	units := collectSourceUnits(mr.Sources)
 
 	// ---- Phase 1a: groups. -----------------------------------------------
+	// With a memo, relations are built and signatures consulted serially;
+	// only the cache misses fan out to the solver workers, and their
+	// results are stored serially afterwards. Reused outcomes are rebound
+	// to the current run's cluster objects; reused counter tallies merge
+	// exactly as a fresh solve's would (addition commutes).
+	memo := opts.Memo
+	memo.beginRun()
 	groupOuts := make([]*GroupOutcome, len(mr.Groups))
 	groupCounters := make([]Counters, len(mr.Groups))
-	err := pool.ForEach(ctx, workers, len(mr.Groups), func(w, i int) {
-		so := sopts
-		so.Counters = &groupCounters[i]
-		rel := cluster.BuildRelation(mr.Groups[i], ifaces)
-		groupOuts[i] = semFor(w).SolveGroup(rel, so)
-	})
-	if err != nil {
-		return nil, err
+	if memo != nil {
+		rels := make([]*cluster.Relation, len(mr.Groups))
+		sigs := make([]string, len(mr.Groups))
+		var miss []int
+		for i, g := range mr.Groups {
+			rels[i] = cluster.BuildRelation(g, ifaces)
+			sigs[i] = groupSignature(g, rels[i], sopts)
+			if e, ok := memo.lookupGroup(sigs[i]); ok {
+				groupOuts[i] = e.outcomeFor(g)
+				groupCounters[i] = e.counters
+				memo.GroupsReused++
+			} else {
+				miss = append(miss, i)
+			}
+		}
+		err := pool.ForEach(ctx, workers, len(miss), func(w, k int) {
+			i := miss[k]
+			so := sopts
+			so.Counters = &groupCounters[i]
+			groupOuts[i] = semFor(w).SolveGroup(rels[i], so)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range miss {
+			memo.storeGroup(sigs[i], groupOuts[i], groupCounters[i])
+			memo.GroupsComputed++
+		}
+	} else {
+		err := pool.ForEach(ctx, workers, len(mr.Groups), func(w, i int) {
+			so := sopts
+			so.Counters = &groupCounters[i]
+			rel := cluster.BuildRelation(mr.Groups[i], ifaces)
+			groupOuts[i] = semFor(w).SolveGroup(rel, so)
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i, g := range mr.Groups {
 		res.Counters.Merge(groupCounters[i])
@@ -206,7 +251,25 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	}
 	if len(mr.Root) > 0 {
 		rel := cluster.BuildRelation(mr.Root, ifaces)
-		out := sem.SolveGroup(rel, sopts)
+		var out *GroupOutcome
+		if memo != nil {
+			sig := groupSignature(mr.Root, rel, sopts)
+			if e, ok := memo.lookupGroup(sig); ok {
+				out = e.outcomeFor(mr.Root)
+				res.Counters.Merge(e.counters)
+				memo.GroupsReused++
+			} else {
+				var cnt Counters
+				so := sopts
+				so.Counters = &cnt
+				out = sem.SolveGroup(rel, so)
+				memo.storeGroup(sig, out, cnt)
+				memo.GroupsComputed++
+				res.Counters.Merge(cnt)
+			}
+		} else {
+			out = sem.SolveGroup(rel, sopts)
+		}
 		res.Groups = append(res.Groups, &GroupReport{
 			Clusters: clusterNames(mr.Root),
 			Outcome:  out,
@@ -216,6 +279,24 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 
 	// ---- Phase 1b: isolated clusters. --------------------------------------
 	for _, c := range mr.Isolated {
+		if memo != nil {
+			sig := isolatedSignature(c, sopts)
+			if e, ok := memo.lookupIsolated(sig); ok {
+				res.IsolatedLabels[c.Name] = e.label
+				res.Counters.Merge(e.counters)
+				memo.IsolatedReused++
+			} else {
+				var cnt Counters
+				so := sopts
+				so.Counters = &cnt
+				label := sem.LabelIsolated(c, so)
+				res.IsolatedLabels[c.Name] = label
+				res.Counters.Merge(cnt)
+				memo.storeIsolated(sig, label, cnt)
+				memo.IsolatedComputed++
+			}
+			continue
+		}
 		res.IsolatedLabels[c.Name] = sem.LabelIsolated(c, sopts)
 	}
 
@@ -229,7 +310,7 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	})
 	nodeOuts := make([]*NodeReport, len(internals))
 	nodeCounters := make([]Counters, len(internals))
-	err = pool.ForEach(ctx, workers, len(internals), func(w, i int) {
+	err := pool.ForEach(ctx, workers, len(internals), func(w, i int) {
 		so := sopts
 		so.Counters = &nodeCounters[i]
 		x := internals[i].LeafClusters()

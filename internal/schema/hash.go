@@ -32,9 +32,18 @@ func HashTrees(trees []*Tree) string {
 	for i, t := range trees {
 		digests[i] = t.CanonicalHash()
 	}
-	sort.Strings(digests)
+	return CombineHashes(digests)
+}
+
+// CombineHashes combines per-tree canonical digests into the set digest
+// HashTrees would produce over trees with those hashes. Callers that
+// already track per-tree digests (the delta session) use it to derive the
+// set identity without re-hashing every tree.
+func CombineHashes(digests []string) string {
+	sorted := append([]string(nil), digests...)
+	sort.Strings(sorted)
 	h := sha256.New()
-	for _, d := range digests {
+	for _, d := range sorted {
 		writeString(h, d)
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -100,7 +100,7 @@ func TestCoalescingSingleRun(t *testing.T) {
 	// Exactly one pipeline execution: the stage observer fired once per
 	// stage, the cache saw one miss and holds one entry, and 49 requests
 	// coalesced.
-	snap := s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize)
+	snap := s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize, 0)
 	for _, stage := range []string{"validate", "merge", "naming"} {
 		if c := snap.Stages[stage].Count; c != 1 {
 			t.Errorf("stage %q ran %d times, want exactly 1", stage, c)

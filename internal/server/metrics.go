@@ -39,6 +39,18 @@ type metrics struct {
 	snapshotLoads    atomic.Int64
 	snapshotRestored atomic.Int64
 
+	// Session counters: lifecycle events, per-kind delta operations, and
+	// the pipeline components the delta engine reused vs. recomputed
+	// (summed over every delta operation).
+	sessionsCreated atomic.Int64
+	sessionsEvicted atomic.Int64
+	sessionsClosed  atomic.Int64
+	deltaAdds       atomic.Int64
+	deltaUpdates    atomic.Int64
+	deltaRemoves    atomic.Int64
+	deltaReused     atomic.Int64
+	deltaRecomputed atomic.Int64
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 	stages    map[string]*stageStats
@@ -145,6 +157,7 @@ type snapshot struct {
 	Cache         cacheSnapshot               `json:"cache"`
 	Batch         batchSnapshot               `json:"batch"`
 	Persistence   persistenceSnapshot         `json:"persistence"`
+	Sessions      sessionsSnapshot            `json:"sessions"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
 	Stages        map[string]stageSnapshot    `json:"stages"`
 	Naming        map[string]int              `json:"naming"`
@@ -169,7 +182,21 @@ type persistenceSnapshot struct {
 	RestoredEntries int64 `json:"restoredEntries"`
 }
 
-func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
+// sessionsSnapshot is the incremental-integration section of /metrics:
+// the live-session gauge, lifecycle counters, delta operations by kind,
+// and how many pipeline components the delta engine reused vs. recomputed
+// across every operation (the incrementality win, observable).
+type sessionsSnapshot struct {
+	Active               int              `json:"active"`
+	Created              int64            `json:"created"`
+	Evicted              int64            `json:"evicted"`
+	Closed               int64            `json:"closed"`
+	DeltaOps             map[string]int64 `json:"deltaOps"`
+	ReusedComponents     int64            `json:"reusedComponents"`
+	RecomputedComponents int64            `json:"recomputedComponents"`
+}
+
+func (m *metrics) snapshot(cacheEntries, cacheCap, sessionsActive int) snapshot {
 	s := snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Inflight:      m.inflight.Load(),
@@ -188,6 +215,19 @@ func (m *metrics) snapshot(cacheEntries, cacheCap int) snapshot {
 			Saves:           m.snapshotSaves.Load(),
 			Loads:           m.snapshotLoads.Load(),
 			RestoredEntries: m.snapshotRestored.Load(),
+		},
+		Sessions: sessionsSnapshot{
+			Active:  sessionsActive,
+			Created: m.sessionsCreated.Load(),
+			Evicted: m.sessionsEvicted.Load(),
+			Closed:  m.sessionsClosed.Load(),
+			DeltaOps: map[string]int64{
+				"add":    m.deltaAdds.Load(),
+				"update": m.deltaUpdates.Load(),
+				"remove": m.deltaRemoves.Load(),
+			},
+			ReusedComponents:     m.deltaReused.Load(),
+			RecomputedComponents: m.deltaRecomputed.Load(),
 		},
 		Endpoints: make(map[string]endpointSnapshot),
 		Stages:    make(map[string]stageSnapshot),

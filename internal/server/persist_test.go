@@ -98,7 +98,7 @@ func TestCacheSnapshotRoundTrip(t *testing.T) {
 }
 
 func stageCount(s *Server, stage string) int64 {
-	return s.metrics.snapshot(0, 0).Stages[stage].Count
+	return s.metrics.snapshot(0, 0, 0).Stages[stage].Count
 }
 
 // TestLoadCacheDefensive: missing files are cold starts; corrupt files,

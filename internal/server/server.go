@@ -19,6 +19,10 @@
 //	POST /v1/translate        global query against a cached integration
 //	                          in, per-source subqueries out (pure cache
 //	                          hit)
+//	POST /v1/sessions         stateful incremental integration: add,
+//	                          update and remove sources one at a time and
+//	                          read the re-labeled interface after every
+//	                          change (see sessions.go for the sub-routes)
 //	GET  /v1/domains          the builtin evaluation corpora
 //	GET  /healthz             liveness probe
 //	GET  /metrics             request/latency/cache/inference-rule counters
@@ -84,17 +88,25 @@ type Config struct {
 	// MaxBatchItems caps how many source-tree sets one /v1/integrate/batch
 	// request may carry. Zero: 64.
 	MaxBatchItems int
+	// SessionTTL is how long an idle /v1/sessions session survives before
+	// eviction (every operation resets the clock). Zero: 15 minutes.
+	// Negative: sessions never expire (they still fall to MaxSessions).
+	SessionTTL time.Duration
+	// MaxSessions caps concurrently live sessions; creating past the cap
+	// evicts the least-recently-used session. Zero: 64.
+	MaxSessions int
 }
 
 // Server is the HTTP labeling service. Create with New; it is safe for
 // concurrent use by the standard library's HTTP server.
 type Server struct {
-	cfg     Config
-	sem     chan struct{}
-	cache   *lru
-	flights *flightGroup
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg      Config
+	sem      chan struct{}
+	cache    *lru
+	flights  *flightGroup
+	metrics  *metrics
+	sessions *sessionStore
+	mux      *http.ServeMux
 
 	domainsOnce sync.Once
 	domainsList []domainInfo
@@ -124,6 +136,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchItems <= 0 {
 		cfg.MaxBatchItems = 64
 	}
+	switch {
+	case cfg.SessionTTL == 0:
+		cfg.SessionTTL = 15 * time.Minute
+	case cfg.SessionTTL < 0:
+		cfg.SessionTTL = 0 // no expiry
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
 	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInflight),
@@ -132,10 +153,20 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	s.sessions = newSessionStore(cfg.SessionTTL, cfg.MaxSessions, func(n int) {
+		s.metrics.sessionsEvicted.Add(int64(n))
+	})
 	s.route("POST /v1/integrate", "/v1/integrate", s.handleIntegrate)
 	s.route("POST /v1/integrate/batch", "/v1/integrate/batch", s.handleBatch)
 	s.route("POST /v1/extract", "/v1/extract", s.handleExtract)
 	s.route("POST /v1/translate", "/v1/translate", s.handleTranslate)
+	s.route("POST /v1/sessions", "/v1/sessions", s.handleSessionCreate)
+	s.route("GET /v1/sessions/{id}", "/v1/sessions/{id}", s.handleSessionInfo)
+	s.route("DELETE /v1/sessions/{id}", "/v1/sessions/{id}", s.handleSessionClose)
+	s.route("POST /v1/sessions/{id}/sources", "/v1/sessions/{id}/sources", s.handleSessionAdd)
+	s.route("PUT /v1/sessions/{id}/sources/{hash}", "/v1/sessions/{id}/sources/{hash}", s.handleSessionUpdate)
+	s.route("DELETE /v1/sessions/{id}/sources/{hash}", "/v1/sessions/{id}/sources/{hash}", s.handleSessionRemove)
+	s.route("GET /v1/sessions/{id}/result", "/v1/sessions/{id}/result", s.handleSessionResult)
 	s.route("GET /v1/domains", "/v1/domains", s.handleDomains)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
@@ -503,7 +534,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize, s.sessions.active()))
 }
 
 // ---- plumbing -----------------------------------------------------------

@@ -7,15 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"time"
 
-	"qilabel/internal/cluster"
 	"qilabel/internal/dataset"
+	"qilabel/internal/delta"
 	"qilabel/internal/extract"
 	"qilabel/internal/lexicon"
-	"qilabel/internal/match"
 	"qilabel/internal/merge"
 	"qilabel/internal/metrics"
 	"qilabel/internal/naming"
@@ -292,113 +290,49 @@ func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Re
 		}
 		trees[i] = s.Clone()
 	}
-	canonicalizeSourceOrder(trees)
-	cluster.ExpandOneToMany(trees)
 	stageDone("validate", len(sources))
 
-	if cfg.UseMatcher {
-		// After expansion, so matcher-assigned clusters replace every
-		// annotation uniformly (including the expanded 1:m children).
-		sem := naming.NewSemantics(cfg.Lexicon)
-		if cfg.referenceKernels {
-			sem = naming.NewSemanticsUnmemoized(cfg.Lexicon)
-		}
-		n, err := match.AssignContext(ctx, trees, match.Options{
-			Semantics:       sem,
-			Parallelism:     cfg.Parallelism,
-			DisableBlocking: cfg.referenceKernels,
-		})
-		if err != nil {
-			return nil, err
-		}
-		stageDone("match", n)
-	}
-	m, err := cluster.FromTrees(trees)
+	// The pipeline core (canonical ordering, 1:m expansion, matching,
+	// merging, naming) lives in internal/delta, shared with the
+	// incremental Session — one definition, so the one-shot and delta
+	// paths cannot drift apart.
+	out, err := delta.Run(ctx, trees, cfg.deltaConfig(), nil, stageDone)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MinFrequency > 1 {
-		m = pruneRareClusters(trees, m, cfg.MinFrequency)
-	}
-	if len(m.Clusters) == 0 {
-		return nil, errors.New("qilabel: no clusters; annotate the sources or use WithMatcher")
-	}
-	mr, err := merge.MergeContext(ctx, trees, m)
-	if err != nil {
-		return nil, err
-	}
-	stageDone("merge", len(m.Clusters))
+	return resultFromOutcome(out, cfg.Lexicon), nil
+}
 
-	nres, err := naming.RunContext(ctx, mr, naming.Options{
-		Lexicon:          cfg.Lexicon,
-		MaxLevel:         naming.Level(cfg.MaxLevel),
-		DisableInstances: cfg.DisableInstances,
-		Parallelism:      cfg.Parallelism,
-		DisableMemo:      cfg.referenceKernels,
-	})
-	if err != nil {
-		return nil, err
+// deltaConfig mirrors the behavior-affecting configuration into the delta
+// engine's Config (internal/delta cannot import this package back).
+func (c Config) deltaConfig() delta.Config {
+	return delta.Config{
+		Lexicon:          c.Lexicon,
+		UseMatcher:       c.UseMatcher,
+		DisableInstances: c.DisableInstances,
+		MaxLevel:         c.MaxLevel,
+		MinFrequency:     c.MinFrequency,
+		Parallelism:      c.Parallelism,
+		ReferenceKernels: c.referenceKernels,
 	}
-	stageDone("naming", len(nres.Groups)+len(nres.Nodes))
+}
 
+// resultFromOutcome wraps one pipeline run's outcome as the public Result.
+func resultFromOutcome(out *delta.Outcome, lex *lexicon.Lexicon) *Result {
 	res := &Result{
-		Tree:   mr.Tree,
-		Class:  nres.Class,
-		Labels: make(map[string]string, len(m.Clusters)),
-		Merge:  mr,
-		Naming: nres,
-		lex:    cfg.Lexicon,
+		Tree:   out.Merge.Tree,
+		Class:  out.Naming.Class,
+		Labels: make(map[string]string, len(out.Mapping.Clusters)),
+		Merge:  out.Merge,
+		Naming: out.Naming,
+		lex:    lex,
 	}
-	for _, c := range m.Clusters {
-		if leaf := mr.LeafOf[c.Name]; leaf != nil {
+	for _, c := range out.Mapping.Clusters {
+		if leaf := out.Merge.LeafOf[c.Name]; leaf != nil {
 			res.Labels[c.Name] = leaf.Label
 		}
 	}
-	return res, nil
-}
-
-// canonicalizeSourceOrder sorts the working copies of the sources by their
-// canonical tree hash. CacheKey identifies the source *set* independent of
-// listing order, so the pipeline must produce one result per set: without
-// this sort, position-sensitive tie-breaks (matcher cluster numbering,
-// sibling placement, candidate election) let a cached result differ from a
-// fresh computation over a permuted listing of the same pool. Structurally
-// identical trees compare equal and keep their relative order, which is
-// harmless — they are interchangeable everywhere downstream.
-func canonicalizeSourceOrder(trees []*schema.Tree) {
-	hashes := make(map[*schema.Tree]string, len(trees))
-	for _, tr := range trees {
-		hashes[tr] = tr.CanonicalHash()
-	}
-	sort.SliceStable(trees, func(i, j int) bool {
-		return hashes[trees[i]] < hashes[trees[j]]
-	})
-}
-
-// pruneRareClusters rebuilds the mapping without the clusters appearing on
-// fewer than minFreq interfaces and clears their leaves' annotations so
-// the merge ignores those fields.
-func pruneRareClusters(trees []*schema.Tree, m *cluster.Mapping, minFreq int) *cluster.Mapping {
-	drop := make(map[string]bool)
-	var keep []*cluster.Cluster
-	for _, c := range m.Clusters {
-		if c.Frequency() < minFreq {
-			drop[c.Name] = true
-			continue
-		}
-		keep = append(keep, c)
-	}
-	if len(drop) == 0 {
-		return m
-	}
-	for _, t := range trees {
-		for _, leaf := range t.Leaves() {
-			if drop[leaf.Cluster] {
-				leaf.Cluster = ""
-			}
-		}
-	}
-	return cluster.NewMapping(keep...)
+	return res
 }
 
 // BatchItem is the outcome of one source-tree set in an IntegrateBatch

@@ -1,0 +1,188 @@
+package qilabel
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"time"
+
+	"qilabel/internal/delta"
+	"qilabel/internal/schema"
+)
+
+// ErrSessionEmpty is returned by Session.Result when the session has no
+// sources; ErrUnknownSource is wrapped by UpdateSource and RemoveSource
+// when the given hash matches no source in the session.
+var (
+	ErrSessionEmpty  = delta.ErrEmptySession
+	ErrUnknownSource = delta.ErrUnknownSource
+)
+
+// Session is a live integration over a mutable source set: add, update and
+// remove source interfaces one at a time and read the labeled integrated
+// interface after every change, paying only for the work the change
+// touches. The configuration (options) is fixed when the session is
+// created, mirroring IntegrateContext's semantics exactly:
+//
+//	After any sequence of delta operations, Result is byte-identical to
+//	IntegrateContext over the session's current source set with the same
+//	options — including Summary, Explain, the cluster partition and the
+//	inference-rule counters. The delta machinery decides what to
+//	recompute, never what comes out.
+//
+// Sources are identified by their canonical hash (returned by AddSource);
+// adding the same tree twice stacks a duplicate, and removing it once
+// brings the session back to the previous state. A Session is safe for
+// concurrent use; operations serialize internally. A failed or canceled
+// operation leaves the session state unchanged.
+type Session struct {
+	inner *delta.Session
+	cfg   Config
+}
+
+// SessionStats profiles the most recent delta operation: total pipeline
+// components (clusters) and how many were reused vs. recomputed, naming
+// group solves answered from the session cache vs. executed, matcher pair
+// verdicts served from cache vs. evaluated, and the operation's duration.
+type SessionStats struct {
+	Op                   string        `json:"op"`
+	Sources              int           `json:"sources"`
+	Components           int           `json:"components"`
+	ComponentsReused     int           `json:"componentsReused"`
+	ComponentsRecomputed int           `json:"componentsRecomputed"`
+	GroupsReused         int           `json:"groupsReused"`
+	GroupsComputed       int           `json:"groupsComputed"`
+	IsolatedReused       int           `json:"isolatedReused"`
+	IsolatedComputed     int           `json:"isolatedComputed"`
+	PairsEvaluated       int           `json:"pairsEvaluated"`
+	PairHits             int           `json:"pairHits"`
+	Duration             time.Duration `json:"-"`
+	DurationMs           float64       `json:"durationMs"`
+}
+
+// SessionTotals aggregates SessionStats over a session's lifetime.
+type SessionTotals struct {
+	Ops                  int64 `json:"ops"`
+	Adds                 int64 `json:"adds"`
+	Updates              int64 `json:"updates"`
+	Removes              int64 `json:"removes"`
+	ComponentsReused     int64 `json:"componentsReused"`
+	ComponentsRecomputed int64 `json:"componentsRecomputed"`
+	GroupsReused         int64 `json:"groupsReused"`
+	GroupsComputed       int64 `json:"groupsComputed"`
+	PairsEvaluated       int64 `json:"pairsEvaluated"`
+	PairHits             int64 `json:"pairHits"`
+}
+
+// NewSession creates an empty incremental integration session with the
+// given options (the same options Integrate takes; Observer is unused by
+// sessions).
+func NewSession(opts ...Option) (*Session, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{inner: delta.NewSession(cfg.deltaConfig()), cfg: cfg}, nil
+}
+
+// AddSource validates and adds one source interface (the tree is cloned,
+// never retained or modified) and recomputes the integration. It returns
+// the source's canonical hash — the handle UpdateSource and RemoveSource
+// take, identical to (*Tree).CanonicalHash().
+func (s *Session) AddSource(ctx context.Context, t *Tree) (string, error) {
+	return s.inner.AddSource(ctx, t)
+}
+
+// UpdateSource atomically replaces one occurrence of the source with the
+// given hash by the new tree, recomputing once, and returns the new hash.
+func (s *Session) UpdateSource(ctx context.Context, hash string, t *Tree) (string, error) {
+	return s.inner.UpdateSource(ctx, hash, t)
+}
+
+// RemoveSource removes one occurrence of the source with the given hash
+// and recomputes the integration. Removing the last source empties the
+// session.
+func (s *Session) RemoveSource(ctx context.Context, hash string) error {
+	return s.inner.RemoveSource(ctx, hash)
+}
+
+// Result returns the current integration outcome — byte-identical to
+// IntegrateContext over Sources() with the session's options. It errors
+// on an empty session. The Result is shared until the next delta
+// operation replaces it; treat it as read-only.
+func (s *Session) Result() (*Result, error) {
+	out, err := s.inner.Outcome()
+	if err != nil {
+		return nil, err
+	}
+	return resultFromOutcome(out, s.cfg.Lexicon), nil
+}
+
+// Len returns the session's source count (duplicates counted).
+func (s *Session) Len() int { return s.inner.Len() }
+
+// SourceHashes returns the canonical hashes of the session's sources in
+// canonical (hash) order, duplicates repeated.
+func (s *Session) SourceHashes() []string { return s.inner.Hashes() }
+
+// Sources returns clones of the session's current sources in canonical
+// order — the listing a from-scratch Integrate of the same state would
+// canonicalize to.
+func (s *Session) Sources() []*Tree { return s.inner.Sources() }
+
+// Stats returns the statistics of the most recent delta operation.
+func (s *Session) Stats() SessionStats {
+	st := s.inner.LastStats()
+	return SessionStats{
+		Op:                   st.Op,
+		Sources:              st.Sources,
+		Components:           st.Components,
+		ComponentsReused:     st.ComponentsReused,
+		ComponentsRecomputed: st.ComponentsRecomputed,
+		GroupsReused:         st.GroupsReused,
+		GroupsComputed:       st.GroupsComputed,
+		IsolatedReused:       st.IsolatedReused,
+		IsolatedComputed:     st.IsolatedComputed,
+		PairsEvaluated:       st.PairsEvaluated,
+		PairHits:             st.PairHits,
+		Duration:             st.Duration,
+		DurationMs:           float64(st.Duration) / float64(time.Millisecond),
+	}
+}
+
+// Totals returns lifetime aggregates across every delta operation.
+func (s *Session) Totals() SessionTotals {
+	t := s.inner.TotalStats()
+	return SessionTotals{
+		Ops:                  t.Ops,
+		Adds:                 t.Adds,
+		Updates:              t.Updates,
+		Removes:              t.Removes,
+		ComponentsReused:     t.ComponentsReused,
+		ComponentsRecomputed: t.ComponentsRecomputed,
+		GroupsReused:         t.GroupsReused,
+		GroupsComputed:       t.GroupsComputed,
+		PairsEvaluated:       t.PairsEvaluated,
+		PairHits:             t.PairHits,
+	}
+}
+
+// Fingerprint returns the session configuration's fingerprint — exactly
+// Config.Fingerprint over the options the session was created with.
+func (s *Session) Fingerprint() string { return s.cfg.Fingerprint() }
+
+// CacheKey returns the CacheKey of the session's current source set under
+// its options: identical to CacheKey(s.Sources(), opts...), computed from
+// the tracked per-source hashes without re-hashing any tree. The key
+// identifies the session's Result in the server's cache.
+func (s *Session) CacheKey() string {
+	h := sha256.New()
+	io.WriteString(h, schema.CombineHashes(s.inner.Hashes()))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, s.cfg.Fingerprint())
+	return hex.EncodeToString(h.Sum(nil))
+}
