@@ -9,6 +9,14 @@
 // and minimum ns/op. Each -baseline name=ns flag (repeatable) emits a
 // speedup entry comparing the named benchmark's mean against a recorded
 // earlier measurement, so successive PRs can track the trajectory.
+//
+// With -gate FILE the tool also acts as a regression gate: FILE is an
+// earlier benchjson document (typically the committed BENCH_pr*.json), and
+// every benchmark appearing in both runs is compared on mean ns/op and
+// allocs/op. Any metric exceeding the baseline by more than
+// -gate-tolerance (default 0.15, i.e. 15%) fails the run with exit
+// status 1 — after the output document is written, so the artifact of a
+// failing run still exists for inspection.
 package main
 
 import (
@@ -68,6 +76,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write the JSON document here (default stdout)")
+	gate := flag.String("gate", "", "baseline benchjson document to gate against; regressions fail the run")
+	gateTol := flag.Float64("gate-tolerance", 0.15, "allowed fractional regression per metric before -gate fails")
 	baselines := map[string]float64{}
 	flag.Func("baseline", "name=ns_per_op of an earlier measurement (repeatable); emits a speedup entry", func(v string) error {
 		name, ns, ok := strings.Cut(v, "=")
@@ -179,9 +189,59 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
+
+	if *gate != "" {
+		if regressed := runGate(*gate, *gateTol, byName); regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// runGate compares the current run against a baseline benchjson document
+// and reports true when any shared benchmark regressed beyond tol on mean
+// ns/op or allocs/op. Benchmarks present on only one side are skipped (new
+// benchmarks must be able to land, and retired ones must not wedge CI);
+// alloc comparison only applies when both sides recorded allocations.
+func runGate(path string, tol float64, byName map[string]benchmark) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading gate baseline: %v", err)
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("corrupt gate baseline %s: %v", path, err)
+	}
+	regressed := false
+	compared := 0
+	check := func(name, metric string, baseline, current float64) {
+		if baseline <= 0 || current <= baseline*(1+tol) {
+			return
+		}
+		regressed = true
+		log.Printf("REGRESSION %s %s: %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+			name, metric, baseline, current, (current/baseline-1)*100, tol*100)
+	}
+	for _, bb := range base.Benchmarks {
+		cur, ok := byName[bb.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		check(bb.Name, "ns/op", bb.NsPerOp, cur.NsPerOp)
+		if bb.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+			check(bb.Name, "allocs/op", bb.AllocsPerOp, cur.AllocsPerOp)
+		}
+	}
+	if compared == 0 {
+		log.Fatalf("gate baseline %s shares no benchmarks with this run", path)
+	}
+	if regressed {
+		log.Printf("gate FAILED against %s (%d benchmarks compared)", path, compared)
+	} else {
+		log.Printf("gate passed against %s (%d benchmarks compared, tolerance %.0f%%)", path, compared, tol*100)
+	}
+	return regressed
 }

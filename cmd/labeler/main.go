@@ -3,7 +3,7 @@
 // the labeled integrated interface.
 //
 //	labeler [-match] [-no-instances] [-max-level N] [-summary] [-timeout 30s]
-//	        [-parallelism N] [-v] [-strict] file.json
+//	        [-parallelism N] [-v] [-strict] [-verify] file.json
 //	labeler -domain Airline [-summary]
 //
 // The JSON format is an array of schema trees (see qilabel.EncodeTrees):
@@ -50,6 +50,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker-pool size for the parallel stages (0 = GOMAXPROCS, 1 = serial); never changes the output")
 	verbose := flag.Bool("v", false, "print a per-stage timing table to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero when the classification is inconsistent, so scripts can gate on labeling quality")
+	verify := flag.Bool("verify", false, "re-check the labeled tree's consistency invariants and report any violations")
 	flag.Parse()
 
 	var sources []*qilabel.Tree
@@ -160,6 +161,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *htmlOut)
+	}
+	if *verify {
+		// The typed Verify API: each violation names the offending node and
+		// the violated rule, so the report needs no string parsing.
+		if vs := res.Verify(); len(vs) > 0 {
+			fmt.Fprintf(os.Stderr, "labeler: %d verification violation(s):\n", len(vs))
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "  [%s] %s\n", v.Rule, v.Detail)
+			}
+			os.Exit(4)
+		}
+		fmt.Println("\nverification: ok")
 	}
 	if *strict && res.Class == qilabel.Inconsistent {
 		fmt.Fprintln(os.Stderr, "labeler: inconsistent classification (-strict)")

@@ -227,8 +227,10 @@ func TestFingerprintExcludesRuntimeKnobs(t *testing.T) {
 	}
 }
 
-// TestVerifyTypedShim: the typed violations and the string shim must carry
-// the same details.
+// TestVerifyTypedShim: the typed violations and the deprecated
+// VerifyStrings shim must carry the same details — the dedicated test that
+// keeps the shim compiling and faithful until it is removed. New code
+// belongs on Verify's typed []Violation.
 func TestVerifyTypedShim(t *testing.T) {
 	sources, err := BuiltinDomain("Airline")
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strings"
 	"time"
 
 	"qilabel/internal/cluster"
@@ -43,6 +44,11 @@ type Config struct {
 	// from-scratch recomputation. Test-only, like qilabel's unexported
 	// twin.
 	ReferenceKernels bool
+	// MatchScratch, when non-nil, lends the matcher's pairwise pass
+	// reusable per-worker buffers pooled across runs (the Integrator keeps
+	// one per configuration). Pure accelerator; nil degrades to per-run
+	// buffers.
+	MatchScratch *match.Scratch
 }
 
 // Outcome is one pipeline run's full output: the working trees (clones,
@@ -88,6 +94,17 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 	CanonicalizeSourceOrder(trees)
 	cluster.ExpandOneToMany(trees)
 
+	// One label-analysis table serves the whole run: the matcher's pairwise
+	// pass reads trimmed leaf labels, the naming phases read raw node
+	// labels, and both previously built separate tables over mostly the
+	// same strings. The table is a pure accelerator (labels outside it fall
+	// back to per-worker caches), so sharing it cannot change output — the
+	// reference path skips it entirely to stay a true baseline.
+	var analysis *naming.Analysis
+	if !cfg.ReferenceKernels {
+		analysis = naming.PrecomputeAnalysis(cfg.Lexicon, runLabels(trees, cfg.UseMatcher))
+	}
+
 	if cfg.UseMatcher {
 		// After expansion, so matcher-assigned clusters replace every
 		// annotation uniformly (including the expanded 1:m children).
@@ -104,6 +121,8 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 				Semantics:       sem,
 				Parallelism:     cfg.Parallelism,
 				DisableBlocking: cfg.ReferenceKernels,
+				Analysis:        analysis,
+				Scratch:         cfg.MatchScratch,
 			})
 		}
 		if err != nil {
@@ -138,6 +157,7 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 		Parallelism:      cfg.Parallelism,
 		DisableMemo:      cfg.ReferenceKernels,
 		Memo:             namingMemo,
+		Analysis:         analysis,
 	})
 	if err != nil {
 		return nil, err
@@ -145,6 +165,29 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 	observe("naming", len(nres.Groups)+len(nres.Nodes))
 
 	return &Outcome{Trees: trees, Mapping: m, Merge: mr, Naming: nres}, nil
+}
+
+// runLabels collects every label the run will analyze: raw node labels
+// (the naming phases) plus, when the matcher runs, the trimmed leaf labels
+// its similarity signals compare. Duplicates are fine — PrecomputeAnalysis
+// dedups — and missing labels are fine too (per-worker fallback), so this
+// only has to be a good superset of the hot strings.
+func runLabels(trees []*schema.Tree, useMatcher bool) []string {
+	var labels []string
+	for _, t := range trees {
+		t.Root.Walk(func(n *schema.Node) bool {
+			if n.Label != "" {
+				labels = append(labels, n.Label)
+				if useMatcher && n.IsLeaf() {
+					if tr := strings.TrimSpace(n.Label); tr != n.Label && tr != "" {
+						labels = append(labels, tr)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return labels
 }
 
 // CanonicalizeSourceOrder sorts the working copies of the sources by their

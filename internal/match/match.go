@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"unicode"
 
 	"qilabel/internal/naming"
@@ -60,7 +61,42 @@ type Options struct {
 	// exhaustive pass exists as the reference for equivalence tests and
 	// benchmarks.
 	DisableBlocking bool
+	// Analysis, when non-nil, supplies a precomputed label-analysis table
+	// (built over the same lexicon as Semantics) that already covers the
+	// trees' trimmed field labels, so the matcher skips its own
+	// PrecomputeAnalysis pass. Labels missing from the table fall back to
+	// per-worker caches — a pure accelerator, never an output change.
+	// Ignored under DisableBlocking (the reference pass stays cold).
+	Analysis *naming.Analysis
+	// Scratch, when non-nil, lends the pairwise pass reusable per-worker
+	// buffers (candidate sets) pooled across calls — the Integrator keeps
+	// one Scratch per configuration so warm integrations stop paying the
+	// per-row allocation. A nil Scratch degrades to per-call buffers.
+	Scratch *Scratch
 }
+
+// Scratch pools the per-worker buffers of the pairwise pass so repeated
+// matcher runs (a warm Integrator, the server's request loop) reuse them
+// instead of reallocating. Safe for concurrent use; the zero value is
+// ready.
+type Scratch struct {
+	pool sync.Pool
+}
+
+// rowBuf is one worker's reusable state: the candidate-index buffer the
+// blocked pass fills and sorts once per row.
+type rowBuf struct {
+	cand []int
+}
+
+func (s *Scratch) get() *rowBuf {
+	if v := s.pool.Get(); v != nil {
+		return v.(*rowBuf)
+	}
+	return &rowBuf{}
+}
+
+func (s *Scratch) put(b *rowBuf) { s.pool.Put(b) }
 
 // fieldInfo is one leaf of the source trees with the normalizations the
 // similarity signals need, computed once instead of per pair.
@@ -106,13 +142,16 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 	var keys [][]string
 	var index map[string][]int
 	if !opts.DisableBlocking {
-		labels := make([]string, 0, len(fields))
-		for i := range fields {
-			if fields[i].label != "" {
-				labels = append(labels, fields[i].label)
+		analysis = opts.Analysis
+		if analysis == nil {
+			labels := make([]string, 0, len(fields))
+			for i := range fields {
+				if fields[i].label != "" {
+					labels = append(labels, fields[i].label)
+				}
 			}
+			analysis = naming.PrecomputeAnalysis(sem.Lexicon(), labels)
 		}
-		analysis = naming.PrecomputeAnalysis(sem.Lexicon(), labels)
 
 		// Block-key index: key -> fields carrying it, in index order.
 		keySem := analysis.Semantics()
@@ -134,6 +173,11 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 	workers := pool.Workers(opts.Parallelism)
 	sems := make([]*naming.Semantics, workers)
 	sems[0] = sem // the serial path reuses the caller's cache
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = &Scratch{}
+	}
+	rows := make([]*rowBuf, workers)
 	matches := make([][]int, len(fields))
 	err := pool.ForEach(ctx, workers, len(fields), func(w, i int) {
 		if sems[w] == nil {
@@ -158,8 +202,12 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 		}
 		// Candidates: fields after i sharing at least one block key,
 		// deduplicated and in ascending order so the matched set comes out
-		// exactly as the exhaustive scan would produce it.
-		var cand []int
+		// exactly as the exhaustive scan would produce it. The buffer is
+		// per-worker and pooled across calls.
+		if rows[w] == nil {
+			rows[w] = scratch.get()
+		}
+		cand := rows[w].cand[:0]
 		for _, k := range keys[i] {
 			for _, j := range index[k] {
 				if j > i && fields[j].iface != fi.iface {
@@ -176,7 +224,13 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 				matches[i] = append(matches[i], j)
 			}
 		}
+		rows[w].cand = cand
 	})
+	for _, rb := range rows {
+		if rb != nil {
+			scratch.put(rb)
+		}
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -140,10 +140,21 @@ func collectUnits(trees []*schema.Tree, universe map[string]bool) map[string]*un
 			if len(set) < 2 {
 				continue // a single field imposes no grouping constraint
 			}
-			filtered := make(map[string]bool, len(set))
+			filtered := set
 			for c := range set {
-				if universe[c] {
-					filtered[c] = true
+				if !universe[c] {
+					// Out-of-universe clusters (pruned as rare) are the
+					// exception, so the filtered copy is only built when
+					// one actually occurs; LeafClusters returns a fresh
+					// map, so trimming it in place would also be safe,
+					// but the copy keeps this loop obviously local.
+					filtered = make(map[string]bool, len(set))
+					for c := range set {
+						if universe[c] {
+							filtered[c] = true
+						}
+					}
+					break
 				}
 			}
 			if len(filtered) < 2 {
@@ -179,12 +190,9 @@ func key(set map[string]bool) string {
 // hierarchy (super-groups). Units covering the entire universe are
 // redundant with the root and dropped.
 func selectLaminar(ctx context.Context, units map[string]*unit, universeSize int) ([]*unit, error) {
-	work := make(map[string]*unit, len(units))
-	for k, u := range units {
-		cp := &unit{key: k, clusters: u.clusters, support: u.support, size: u.size,
-			occurrences: u.occurrences}
-		work[k] = cp
-	}
+	// collectUnits builds the map fresh for every merge, so the family can
+	// be reduced in place — no defensive copies.
+	work := units
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -65,6 +65,14 @@ type Options struct {
 	// so this can only change speed, never output — the equivalence tests
 	// run both ways to enforce exactly that. Diagnostics/tests only.
 	DisableMemo bool
+	// Analysis, when non-nil, supplies a label-analysis table precomputed
+	// by the caller (it must have been built over the same Lexicon). The
+	// pipeline builds one table per run and shares it between the matcher
+	// and the naming passes instead of each stage re-analyzing the same
+	// labels. Labels outside the table fall back to per-worker caches, so
+	// the option is a pure accelerator: it can never change the labeling.
+	// Ignored under DisableMemo.
+	Analysis *Analysis
 	// Memo, when non-nil, caches group solves and isolated-cluster
 	// elections across runs, keyed by content signatures; a run over a
 	// slightly changed source set then recomputes only the groups the
@@ -167,7 +175,10 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	var shared *Analysis
 	newSem := func() *Semantics { return NewSemanticsUnmemoized(opts.Lexicon) }
 	if !opts.DisableMemo {
-		shared = PrecomputeAnalysis(opts.Lexicon, sourceLabels(mr.Sources))
+		shared = opts.Analysis
+		if shared == nil {
+			shared = PrecomputeAnalysis(opts.Lexicon, sourceLabels(mr.Sources))
+		}
 		newSem = shared.Semantics
 	}
 	sem := newSem()

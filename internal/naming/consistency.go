@@ -129,17 +129,42 @@ func (s *Semantics) CombineClosure(tuples []cluster.Tuple, level Level) []cluste
 				if !s.TuplesConsistent(all[i], all[j], level) {
 					continue
 				}
-				c := Combine(all[i], all[j])
-				k := tupleKey(c)
-				if !seen[k] {
-					seen[k] = true
-					all = append(all, c)
-					grew = true
+				// Key the would-be combined tuple into scratch before
+				// materializing it: Combine's result is determined by the
+				// pair's label vectors, so a key hit means the tuple was
+				// already generated and the (allocating) Combine can be
+				// skipped. seen[string(buf)] compiles to an alloc-free map
+				// probe; the key string is only built for new tuples, as
+				// before.
+				buf := combinedKeyInto(s.keyBuf[:0], all[i], all[j])
+				s.keyBuf = buf
+				if seen[string(buf)] {
+					continue
 				}
+				seen[string(buf)] = true
+				all = append(all, Combine(all[i], all[j]))
+				grew = true
 			}
 		}
 	}
 	return all
+}
+
+// combinedKeyInto appends tupleKey(Combine(r, u)) to buf without building
+// the combined tuple: component i of the combination is r's label when
+// non-null, else u's (Definition 3), which is exactly what Combine stores.
+func combinedKeyInto(buf []byte, r, u cluster.Tuple) []byte {
+	for i := range r.Labels {
+		if i > 0 {
+			buf = append(buf, 0)
+		}
+		if r.Labels[i] != "" {
+			buf = append(buf, r.Labels[i]...)
+		} else if i < len(u.Labels) {
+			buf = append(buf, u.Labels[i]...)
+		}
+	}
+	return buf
 }
 
 // Expressiveness returns the number of distinct content words across the
@@ -148,7 +173,12 @@ func (s *Semantics) CombineClosure(tuples []cluster.Tuple, level Level) []cluste
 // (Number of Connections, Class of Ticket, Airline Preference), which
 // scores 6.
 func (s *Semantics) Expressiveness(t cluster.Tuple) int {
-	seen := make(map[string]bool)
+	if s.expSeen == nil {
+		s.expSeen = make(map[string]bool)
+	} else {
+		clear(s.expSeen)
+	}
+	seen := s.expSeen
 	for _, l := range t.Labels {
 		if l == "" {
 			continue

@@ -141,10 +141,13 @@ func (s *Semantics) SolveGroup(rel *cluster.Relation, opts SolverOptions) *Group
 			}
 		}
 		if len(out.Solutions) > 0 {
-			sort.SliceStable(out.Solutions, func(i, j int) bool {
-				ti := cluster.Tuple{Labels: out.Solutions[i].Labels}
-				tj := cluster.Tuple{Labels: out.Solutions[j].Labels}
-				return s.Expressiveness(ti) > s.Expressiveness(tj)
+			// Expressiveness once per solution, not once per comparison.
+			exps := make([]int, len(out.Solutions))
+			for i, sol := range out.Solutions {
+				exps[i] = s.Expressiveness(cluster.Tuple{Labels: sol.Labels})
+			}
+			sortByStable(out.Solutions, exps, func(i, j int) bool {
+				return exps[i] > exps[j]
 			})
 			return out
 		}
@@ -199,16 +202,21 @@ func (s *Semantics) consistentSolution(rel *cluster.Relation, p *Partition, leve
 	for _, t := range rel.Tuples {
 		freq[tupleKey(t)]++
 	}
-	sort.SliceStable(full, func(i, j int) bool {
-		ei, ej := s.Expressiveness(full[i]), s.Expressiveness(full[j])
-		if ei != ej {
-			return ei > ej
+	// Rank every candidate once — the sort comparator previously recomputed
+	// Expressiveness and re-joined tupleKey O(n log n) times.
+	ranks := make([]tupleRank, len(full))
+	for i, t := range full {
+		k := tupleKey(t)
+		ranks[i] = tupleRank{exp: s.Expressiveness(t), freq: freq[k], key: k}
+	}
+	sortByStable(full, ranks, func(i, j int) bool {
+		if ranks[i].exp != ranks[j].exp {
+			return ranks[i].exp > ranks[j].exp
 		}
-		fi, fj := freq[tupleKey(full[i])], freq[tupleKey(full[j])]
-		if fi != fj {
-			return fi > fj
+		if ranks[i].freq != ranks[j].freq {
+			return ranks[i].freq > ranks[j].freq
 		}
-		return tupleKey(full[i]) < tupleKey(full[j])
+		return ranks[i].key < ranks[j].key
 	})
 	best := full[0]
 	labels := append([]string(nil), best.Labels...)
@@ -237,19 +245,67 @@ func (s *Semantics) greedyCovers(p *Partition, level Level) []cluster.Tuple {
 		for changed := true; changed; {
 			changed = false
 			for _, u := range p.Tuples {
+				// Combine keeps every non-null label of t, so the merge
+				// grows t exactly when u fills one of t's nulls — check
+				// that before paying for the consistency evaluation and
+				// the combined tuple's allocation.
+				if !fillsNull(t, u) {
+					continue
+				}
 				if !s.TuplesConsistent(t, u, level) {
 					continue
 				}
-				c := Combine(t, u)
-				if c.NonNull() > t.NonNull() {
-					t = c
-					changed = true
-				}
+				t = Combine(t, u)
+				changed = true
 			}
 		}
 		out = append(out, t)
 	}
 	return out
+}
+
+// tupleRank is a candidate tuple's precomputed sort criteria (§4.2.1):
+// expressiveness, frequency of occurrence in the relation, and the label
+// key as the deterministic final tie-break.
+type tupleRank struct {
+	exp, freq int
+	key       string
+}
+
+// sortByStable stably sorts items together with a parallel key slice. The
+// less function compares by position into keys; swaps keep the two slices
+// aligned, so precomputed sort criteria replace per-comparison recomputation.
+func sortByStable[T, K any](items []T, keys []K, less func(i, j int) bool) {
+	sort.Stable(&parallelSorter[T, K]{items: items, keys: keys, less: less})
+}
+
+type parallelSorter[T, K any] struct {
+	items []T
+	keys  []K
+	less  func(i, j int) bool
+}
+
+func (p *parallelSorter[T, K]) Len() int { return len(p.items) }
+func (p *parallelSorter[T, K]) Swap(i, j int) {
+	p.items[i], p.items[j] = p.items[j], p.items[i]
+	p.keys[i], p.keys[j] = p.keys[j], p.keys[i]
+}
+func (p *parallelSorter[T, K]) Less(i, j int) bool { return p.less(i, j) }
+
+// fillsNull reports whether u supplies a label for some null component of
+// t — the exact condition under which Combine(t, u).NonNull() exceeds
+// t.NonNull(), since Definition 3 keeps all of t's non-null labels.
+func fillsNull(t, u cluster.Tuple) bool {
+	n := len(t.Labels)
+	if len(u.Labels) < n {
+		n = len(u.Labels)
+	}
+	for i := 0; i < n; i++ {
+		if t.Labels[i] == "" && u.Labels[i] != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // partialSolution implements §4.2.2: a consistent solution is constructed
@@ -266,13 +322,23 @@ func (s *Semantics) partialSolution(rel *cluster.Relation, parts []*Partition, l
 			cand = s.greedyCovers(p, level)
 		}
 		var best cluster.Tuple
-		bestScore := -1
+		bestScore, bestExp := -1, -1
 		for _, t := range cand {
 			score := t.NonNull()
-			if score > bestScore ||
-				(score == bestScore && s.Expressiveness(t) > s.Expressiveness(best)) {
-				best = t
-				bestScore = score
+			if score < bestScore {
+				continue
+			}
+			if score > bestScore {
+				best, bestScore, bestExp = t, score, -1
+				continue
+			}
+			// Tie on non-null count: break by expressiveness, computing the
+			// incumbent's score at most once.
+			if bestExp < 0 {
+				bestExp = s.Expressiveness(best)
+			}
+			if e := s.Expressiveness(t); e > bestExp {
+				best, bestExp = t, e
 			}
 		}
 		if bestScore >= 0 {

@@ -153,6 +153,13 @@ type Semantics struct {
 	ids    map[string]int32 // local label IDs, offset past the shared table's
 	memo   map[uint64]Rel   // Relate verdicts keyed by interned label-pair IDs
 	noMemo bool
+
+	// Reusable scratch for the group solver's hot loops (a Semantics is
+	// single-goroutine, so plain fields suffice): the stem set
+	// Expressiveness clears per call and the byte buffer CombineClosure
+	// keys combined tuples into before deciding to materialize them.
+	expSeen map[string]bool
+	keyBuf  []byte
 }
 
 // NewSemantics creates a Semantics over the given lexicon (nil means the

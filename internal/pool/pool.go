@@ -24,12 +24,36 @@ func Workers(n int) int {
 	return n
 }
 
+// SerialThreshold is the unit count below which ForEach runs the plain
+// serial loop regardless of the requested worker count: spawning and
+// joining goroutines costs more than the work itself on tiny inputs (the
+// small domains of the paper's corpus have a handful of groups per stage).
+const SerialThreshold = 16
+
+// chunkSize picks how many consecutive indices one atomic claim hands a
+// worker: enough to amortize the claim over the unit work, small enough
+// that the last chunks still balance across workers (≥ 8 claims per
+// worker).
+func chunkSize(workers, n int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
 // ForEach invokes fn(worker, i) for every i in [0, n), distributing the
 // indices over up to `workers` goroutines (0 or negative: GOMAXPROCS; the
 // worker count never exceeds n). The worker argument identifies the calling
 // goroutine in [0, workers), so callers can keep per-worker scratch state
 // (e.g. a naming.Semantics, whose analysis cache is not concurrency-safe)
 // without locking.
+//
+// Workers claim chunks of consecutive indices from one atomic counter, so
+// dispatch overhead amortizes over the chunk; inputs below SerialThreshold
+// skip goroutine spawn entirely and run the plain loop. Neither choice can
+// change the output: units are pure functions of their index, addressed by
+// slot.
 //
 // Cancellation is cooperative: each worker checks ctx between units and
 // stops claiming new work once the context is done; in-flight units finish.
@@ -45,7 +69,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(worker, i int)) error 
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
+	if workers == 1 || n < SerialThreshold {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -54,6 +78,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(worker, i int)) error 
 		}
 		return ctx.Err()
 	}
+	chunk := chunkSize(workers, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -61,11 +86,20 @@ func ForEach(ctx context.Context, workers, n int, fn func(worker, i int)) error 
 		go func(worker int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
 					return
 				}
-				fn(worker, i)
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					fn(worker, i)
+				}
 			}
 		}(w)
 	}

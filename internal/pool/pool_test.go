@@ -3,6 +3,8 @@ package pool
 import (
 	"context"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -94,6 +96,66 @@ func TestForEachStopsPromptlyOnCancel(t *testing.T) {
 	if ran.Load() >= 1_000_000 {
 		t.Fatal("cancellation did not skip any work")
 	}
+}
+
+// TestForEachSerialThreshold pins the no-spawn fast path: below
+// SerialThreshold every unit runs on the calling goroutine (worker 0, index
+// order), at and above the threshold the parallel path still covers every
+// index exactly once. The boundary cases n = 0, 1, threshold-1, threshold
+// and threshold+1 are all exercised.
+func TestForEachSerialThreshold(t *testing.T) {
+	for _, n := range []int{0, 1, SerialThreshold - 1} {
+		var order []int
+		base := goroutineID()
+		err := ForEach(context.Background(), 4, n, func(w, i int) {
+			if w != 0 {
+				t.Fatalf("n=%d below threshold: worker id = %d, want 0", n, w)
+			}
+			if goroutineID() != base {
+				t.Fatalf("n=%d below threshold: unit %d ran off the calling goroutine", n, i)
+			}
+			order = append(order, i)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(order) != n {
+			t.Fatalf("n=%d: ran %d units", n, len(order))
+		}
+		for i, v := range order {
+			if i != v {
+				t.Fatalf("n=%d: serial order broken: %v", n, order)
+			}
+		}
+	}
+	for _, n := range []int{SerialThreshold, SerialThreshold + 1, 3 * SerialThreshold} {
+		hits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), 4, n, func(_, i int) {
+			hits[i].Add(1)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// goroutineID parses the current goroutine's ID out of the runtime.Stack
+// header ("goroutine N [running]:"), the standard test trick for asserting
+// that a fast path never hops goroutines.
+func goroutineID() uint64 {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	fields := strings.Fields(string(buf))
+	if len(fields) < 2 {
+		return 0
+	}
+	id, _ := strconv.ParseUint(fields[1], 10, 64)
+	return id
 }
 
 func TestForEachZeroUnits(t *testing.T) {

@@ -138,11 +138,12 @@ func (n *Node) DescendantLeaves() []*Node {
 // under n.
 func (n *Node) LeafClusters() map[string]bool {
 	set := make(map[string]bool)
-	for _, leaf := range n.DescendantLeaves() {
-		if leaf.Cluster != "" {
-			set[leaf.Cluster] = true
+	n.Walk(func(m *Node) bool {
+		if m.IsLeaf() && m.Cluster != "" {
+			set[m.Cluster] = true
 		}
-	}
+		return true
+	})
 	return set
 }
 

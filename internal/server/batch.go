@@ -96,7 +96,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		p := &batchPlan{index: i, domain: item.Domain, ropts: item.Options}
 		p.sources, p.err = resolveSources(item)
 		if p.err == nil {
-			p.key = qilabel.CacheKey(p.sources, s.options(item.Options)...)
+			if ig, igErr := s.integrator(item.Options); igErr != nil {
+				p.err = &apiError{http.StatusBadRequest, codeBadRequest, igErr.Error()}
+			} else {
+				p.key = ig.CacheKey(p.sources)
+			}
+		}
+		if p.err == nil {
 			if j, dup := first[p.key]; dup {
 				dupes[j] = append(dupes[j], i)
 			} else {

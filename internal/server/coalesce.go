@@ -201,10 +201,12 @@ func (s *Server) runFlight(f *flight, key string, sources []*qilabel.Tree, domai
 	if s.testHookSlow != nil {
 		s.testHookSlow()
 	}
-	opts := append(s.options(ropts),
-		qilabel.WithParallelism(s.cfg.Parallelism),
-		qilabel.WithObserver(s.metrics.observeStage))
-	res, err := qilabel.IntegrateContext(f.ctx, sources, opts...)
+	ig, err := s.integrator(ropts)
+	if err != nil {
+		s.flights.finish(key, f, integrateResponse{}, err)
+		return
+	}
+	res, err := ig.IntegrateContext(f.ctx, sources)
 	if err != nil {
 		s.flights.finish(key, f, integrateResponse{}, err)
 		return

@@ -57,6 +57,9 @@ type cacheSnapshotEntry struct {
 // validation: the option fingerprint of a bare request, which pins the
 // configured lexicon (the one server setting that changes results).
 func (s *Server) baseFingerprint() string {
+	if ig, err := s.integrator(requestOptions{}); err == nil {
+		return ig.Fingerprint()
+	}
 	return qilabel.Fingerprint(s.options(requestOptions{})...)
 }
 
@@ -148,7 +151,8 @@ func (s *Server) LoadCache(path string) (int, error) {
 				break
 			}
 		}
-		if !valid || qilabel.CacheKey(e.Sources, s.options(e.Options)...) != e.Key {
+		ig, igErr := s.integrator(e.Options)
+		if !valid || igErr != nil || ig.CacheKey(e.Sources) != e.Key {
 			continue
 		}
 		s.cache.Put(e.Key, &cacheEntry{
@@ -181,10 +185,11 @@ func (s *Server) rehydrate(ctx context.Context, key string, e *cacheEntry) (*qil
 		return nil, s.timeoutError()
 	}
 	defer release()
-	opts := append(s.options(e.options),
-		qilabel.WithParallelism(s.cfg.Parallelism),
-		qilabel.WithObserver(s.metrics.observeStage))
-	res, err := qilabel.IntegrateContext(wctx, e.sources, opts...)
+	ig, err := s.integrator(e.options)
+	if err != nil {
+		return nil, s.apiErrorFor(err)
+	}
+	res, err := ig.IntegrateContext(wctx, e.sources)
 	if err != nil {
 		return nil, s.apiErrorFor(err)
 	}

@@ -111,6 +111,14 @@ type Server struct {
 	domainsOnce sync.Once
 	domainsList []domainInfo
 
+	// integrators caches one qilabel.Integrator per distinct request-option
+	// combination: the server's lexicon, parallelism and stage observer are
+	// fixed for its lifetime, so the comparable requestOptions struct fully
+	// determines a configuration. Each handle's validation, lexicon freeze
+	// and fingerprint are paid once per combination instead of per request.
+	igMu  sync.Mutex
+	igMap map[requestOptions]*qilabel.Integrator
+
 	// testHookSlow, when set, runs inside every integration worker before
 	// the pipeline; tests use it to hold requests in flight.
 	testHookSlow func()
@@ -152,6 +160,7 @@ func New(cfg Config) *Server {
 		flights: newFlightGroup(),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
+		igMap:   make(map[requestOptions]*qilabel.Integrator),
 	}
 	s.sessions = newSessionStore(cfg.SessionTTL, cfg.MaxSessions, func(n int) {
 		s.metrics.sessionsEvicted.Add(int64(n))
@@ -243,6 +252,40 @@ type requestOptions struct {
 	MaxLevel int `json:"maxLevel,omitempty"`
 	// MinFrequency drops fields on fewer than N source interfaces.
 	MinFrequency int `json:"minFrequency,omitempty"`
+}
+
+// maxIntegrators bounds the per-options Integrator registry so adversarial
+// option values (unbounded distinct MinFrequency settings, say) cannot grow
+// it without limit; combinations past the cap get a working throwaway
+// handle instead of a cached one.
+const maxIntegrators = 64
+
+// integrator returns the shared Integrator for the given request options,
+// constructing and caching it on first use. Invalid combinations (MaxLevel
+// out of range, negative MinFrequency) return the validation error and are
+// never cached.
+func (s *Server) integrator(o requestOptions) (*qilabel.Integrator, error) {
+	s.igMu.Lock()
+	defer s.igMu.Unlock()
+	if ig, ok := s.igMap[o]; ok {
+		return ig, nil
+	}
+	ig, err := qilabel.NewIntegrator(qilabel.Config{
+		Lexicon:          s.cfg.Lexicon,
+		UseMatcher:       o.Matcher,
+		DisableInstances: o.NoInstances,
+		MaxLevel:         o.MaxLevel,
+		MinFrequency:     o.MinFrequency,
+		Parallelism:      s.cfg.Parallelism,
+		Observer:         s.metrics.observeStage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(s.igMap) < maxIntegrators {
+		s.igMap[o] = ig
+	}
+	return ig, nil
 }
 
 func (s *Server) options(o requestOptions) []qilabel.Option {
@@ -391,7 +434,12 @@ func resolveSources(req integrateRequest) ([]*qilabel.Tree, *apiError) {
 // immediately, but the shared run keeps going while other requests still
 // wait on it; only the last waiter leaving cancels the pipeline.
 func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qilabel.Tree, domain string, ropts requestOptions) {
-	key := qilabel.CacheKey(sources, s.options(ropts)...)
+	ig, err := s.integrator(ropts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	key := ig.CacheKey(sources)
 	resp, _, apiErr := s.integrateShared(r.Context(), key, sources, domain, ropts, false)
 	if apiErr != nil {
 		writeAPIError(w, apiErr)

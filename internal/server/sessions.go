@@ -197,12 +197,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	opts := s.sessionOptions(req.Options)
-	sess, err := qilabel.NewSession(opts...)
+	ig, err := s.integrator(req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
+	sess := ig.NewSession()
 	ls := &liveSession{id: newSessionID(), sess: sess, ropts: req.Options}
 	s.sessions.add(ls)
 	s.metrics.sessionsCreated.Add(1)
@@ -211,13 +211,6 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: sess.Fingerprint(),
 		TTLSeconds:  s.cfg.SessionTTL.Seconds(),
 	})
-}
-
-// sessionOptions builds the option set a session runs under — the same
-// options /v1/integrate maps plus the server's parallelism (which never
-// changes results and is excluded from fingerprints and cache keys).
-func (s *Server) sessionOptions(ropts requestOptions) []qilabel.Option {
-	return append(s.options(ropts), qilabel.WithParallelism(s.cfg.Parallelism))
 }
 
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {

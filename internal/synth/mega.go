@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qilabel/internal/lexicon"
+)
+
+// Mega-domain support: corpora larger than the real lexicon's synset pool.
+// When SynthVocab is set and the blueprint runs out of disjoint synsets,
+// the shortfall is covered by synthesized concepts — pseudo-word synsets
+// with a pseudo-word hypernym each — registered on a clone of the lexicon.
+// The pseudo-words are pronounceable consonant-vowel strings drawn from
+// the corpus's own seeded sub-stream, so a mega corpus is exactly as
+// deterministic as a small one, and they always end in a vowel, so the
+// §3.1 number normalization ("rooms" -> "room") can never alias two of
+// them. Structurally a synthetic concept is indistinguishable from a real
+// one: the naming algorithm sees synonyms to swap, a hypernym to lift to
+// and optional instance lists, which is the point — mega corpora exercise
+// scale, not a degenerate vocabulary.
+
+// pseudoSyllables are the building blocks of synthesized words. Sixteen
+// onsets by five vowels gives 80 syllables; at 3–4 syllables per word the
+// space is ~33M words, so collisions with the reserved set are resolved by
+// redrawing and effectively never cascade.
+const (
+	pseudoOnsets = "bcdfghklmnprstvz"
+	pseudoVowels = "aeiou"
+)
+
+// pseudoWord draws one synthetic vocabulary word: 3–4 open consonant-vowel
+// syllables, e.g. "tovika" or "balureso".
+func pseudoWord(r *rng) string {
+	n := 3 + r.intn(2)
+	b := make([]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		b = append(b, pseudoOnsets[r.intn(len(pseudoOnsets))], pseudoVowels[r.intn(len(pseudoVowels))])
+	}
+	return string(b)
+}
+
+// extendVocab appends synthesized concepts until cfg.Concepts is reached,
+// registering each new synset and its hypernym on lex (the blueprint's
+// clone). reserved already holds every word the real concepts claimed;
+// synthesized words join it so synthetic concepts stay pairwise disjoint
+// from the real ones and from each other.
+func extendVocab(cfg Config, lex *lexicon.Lexicon, concepts []concept, reserved map[string]bool) []concept {
+	r := subRNG(cfg.Seed, 0, "vocab")
+	draw := func() string {
+		for {
+			w := pseudoWord(r)
+			if reserved[w] || lex.Knows(w) || !usableWord(lex, w) {
+				continue
+			}
+			reserved[w] = true
+			return w
+		}
+	}
+	for len(concepts) < cfg.Concepts {
+		words := make([]string, 2+r.intn(2))
+		for i := range words {
+			words[i] = draw()
+		}
+		sort.Strings(words)
+		parent := draw()
+		canon := words[r.intn(len(words))]
+		lex.AddSynonyms(words...)
+		lex.AddHypernym(parent, canon)
+		c := concept{
+			cluster: "c_" + strings.ReplaceAll(canon, "-", "_"),
+			canon:   canon,
+			words:   words,
+			parent:  parent,
+		}
+		ir := subRNG(cfg.Seed, 0, "instances:"+c.cluster)
+		if ir.float() < cfg.InstanceRatio {
+			c.instances = valueList(ir, nil, c)
+		}
+		concepts = append(concepts, c)
+	}
+	return concepts
+}
+
+// Preset returns a named benchmark corpus shape. The three presets share
+// one perturbation profile and differ only in scale, so scaling curves
+// measured across them compare like with like:
+//
+//	small  —   8 sources ×  12 concepts (real vocabulary)
+//	medium —  32 sources ×  32 concepts
+//	mega   — 192 sources ×  96 concepts (synthesized vocabulary)
+//
+// Generate the medium and mega corpora with GenerateWithLexicon and run
+// the pipeline with the returned lexicon.
+func Preset(name string) (Config, error) {
+	p := Perturb{SynonymSwap: 0.3, NumberVary: 0.15, Noise: 0.15, HypernymLift: 0.1, Dropout: 0.1, Reorder: 0.2}
+	switch strings.ToLower(name) {
+	case "small":
+		return Config{Seed: 1, Domain: "bench-small", Sources: 8, Concepts: 12,
+			GroupFanout: 3, Depth: 2, InstanceRatio: 0.5, Perturb: p}, nil
+	case "medium":
+		return Config{Seed: 2, Domain: "bench-medium", Sources: 32, Concepts: 32,
+			GroupFanout: 4, Depth: 3, InstanceRatio: 0.5, SynthVocab: true, Perturb: p}, nil
+	case "mega":
+		return Config{Seed: 3, Domain: "bench-mega", Sources: 192, Concepts: 96,
+			GroupFanout: 4, Depth: 3, InstanceRatio: 0.5, SynthVocab: true, Perturb: p}, nil
+	}
+	return Config{}, fmt.Errorf("synth: unknown preset %q (want small, medium or mega)", name)
+}

@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qilabel/internal/lexicon"
+)
+
+// TestSynthVocabBlueprint pins the mega-domain vocabulary contract: the
+// real concepts come first and are chosen exactly as without SynthVocab,
+// the synthesized tail is deterministic and registered on a clone (the
+// configured lexicon is never touched), and synthetic concepts are fully
+// structured — synset, hypernym, disjoint closures.
+func TestSynthVocabBlueprint(t *testing.T) {
+	cfg := Config{Seed: 11, Concepts: 150, SynthVocab: true}.withDefaults()
+	concepts, lex, err := blueprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concepts) != 150 {
+		t.Fatalf("blueprint returned %d concepts, want 150", len(concepts))
+	}
+
+	def := lexicon.Default()
+	realCount := 0
+	for i, c := range concepts {
+		if def.Knows(c.canon) {
+			if realCount != i {
+				t.Fatalf("real concept %q at index %d after synthetic ones", c.canon, i)
+			}
+			realCount++
+		}
+	}
+	if realCount == 0 || realCount == len(concepts) {
+		t.Fatalf("realCount = %d: corpus should mix real and synthetic concepts", realCount)
+	}
+
+	// The real prefix is exactly what a non-SynthVocab blueprint selects.
+	small := cfg
+	small.SynthVocab = false
+	small.Concepts = realCount
+	prefix, plex, err := blueprint(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plex != cfg.Lexicon {
+		t.Fatal("non-extending blueprint should return the configured lexicon itself")
+	}
+	if !reflect.DeepEqual(prefix, concepts[:realCount]) {
+		t.Fatal("real-concept prefix differs from the non-SynthVocab selection")
+	}
+
+	// The synthetic tail: known to the returned lexicon, unknown to the
+	// untouched default, and structurally complete.
+	seen := make(map[string]bool)
+	for _, c := range concepts[:realCount] {
+		for _, w := range c.words {
+			seen[w] = true
+		}
+	}
+	for _, c := range concepts[realCount:] {
+		if def.Knows(c.canon) || def.Knows(c.parent) {
+			t.Fatalf("synthetic words %q/%q leaked into the default lexicon", c.canon, c.parent)
+		}
+		if !lex.Knows(c.canon) || !lex.Knows(c.parent) {
+			t.Fatalf("extended lexicon does not know synthetic concept %q (parent %q)", c.canon, c.parent)
+		}
+		if len(c.words) < 2 {
+			t.Fatalf("synthetic concept %q has %d synset members, want >= 2", c.canon, len(c.words))
+		}
+		syns := make(map[string]bool)
+		for _, s := range lex.Synonyms(c.canon) {
+			syns[s] = true
+		}
+		for _, w := range c.words {
+			if w != c.canon && !syns[w] {
+				t.Fatalf("lexicon lost synonymy %q ~ %q", c.canon, w)
+			}
+			if seen[w] {
+				t.Fatalf("synthetic word %q collides with another concept", w)
+			}
+			seen[w] = true
+			if !usableWord(lex, w) {
+				t.Fatalf("synthetic word %q is not usable as a label", w)
+			}
+			if strings.ContainsAny(w, " -") {
+				t.Fatalf("synthetic word %q is not a single word", w)
+			}
+		}
+	}
+
+	// Determinism: a second run reproduces the concepts exactly.
+	again, _, err := blueprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(concepts, again) {
+		t.Fatal("blueprint is not deterministic under SynthVocab")
+	}
+}
+
+// TestMegaPresetGenerate generates the full mega corpus twice and checks
+// shape and byte-level determinism.
+func TestMegaPresetGenerate(t *testing.T) {
+	cfg, err := Preset("mega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, lex, err := GenerateWithLexicon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 192 {
+		t.Fatalf("mega preset generated %d sources, want 192", len(trees))
+	}
+	if lex == nil {
+		t.Fatal("mega preset returned no lexicon")
+	}
+	fields := 0
+	for _, tr := range trees {
+		fields += len(tr.Leaves())
+	}
+	if fields < 10000 {
+		t.Fatalf("mega corpus has %d fields, want thousands", fields)
+	}
+
+	again, _, err := GenerateWithLexicon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trees {
+		if trees[i].String() != again[i].String() {
+			t.Fatalf("mega corpus tree %d not deterministic", i)
+		}
+	}
+}
+
+func TestPresetNames(t *testing.T) {
+	for _, name := range []string{"small", "medium", "MEGA"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if _, _, err := GenerateWithLexicon(cfg); err != nil {
+			t.Fatalf("Preset(%q) does not generate: %v", name, err)
+		}
+	}
+	if _, err := Preset("gigantic"); err == nil {
+		t.Fatal("Preset accepted an unknown name")
+	}
+}

@@ -27,7 +27,7 @@ func SynonymRelabel(cfg Config, trees []*schema.Tree, relabelSeed uint64) ([]*sc
 	if err := cfg.validate(); err != nil {
 		return nil, 0, err
 	}
-	concepts, err := blueprint(cfg)
+	concepts, _, err := blueprint(cfg)
 	if err != nil {
 		return nil, 0, err
 	}

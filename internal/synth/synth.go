@@ -74,6 +74,14 @@ type Config struct {
 	InstanceRatio float64
 	// Lexicon supplies the vocabulary; nil means lexicon.Default().
 	Lexicon *lexicon.Lexicon
+	// SynthVocab lets the blueprint synthesize vocabulary when the lexicon
+	// runs out of disjoint synsets — the mega-domain mode. The shortfall is
+	// covered by deterministic pseudo-word synsets registered on a clone of
+	// the lexicon (the configured Lexicon is never mutated). The real
+	// concepts come first and are chosen exactly as without SynthVocab, so
+	// small corpora are unaffected. Use GenerateWithLexicon to obtain the
+	// extended lexicon the pipeline must then run with.
+	SynthVocab bool
 	// Perturb sets the divergence rates.
 	Perturb Perturb
 }
@@ -149,23 +157,33 @@ type concept struct {
 // pipeline with the matcher to have clusters recomputed from labels and
 // instances instead.
 func Generate(cfg Config) ([]*schema.Tree, error) {
+	trees, _, err := GenerateWithLexicon(cfg)
+	return trees, err
+}
+
+// GenerateWithLexicon is Generate plus the vocabulary the corpus was drawn
+// from: cfg.Lexicon itself for ordinary corpora, or — under SynthVocab —
+// the clone extended with the synthesized synsets. Pipelines labeling a
+// SynthVocab corpus must run with the returned lexicon, or the synthetic
+// concepts' synonym and hypernym structure is invisible to them.
+func GenerateWithLexicon(cfg Config) ([]*schema.Tree, *lexicon.Lexicon, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	concepts, err := blueprint(cfg)
+	concepts, lex, err := blueprint(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	labels := groupLabels(cfg, concepts)
 	trees := make([]*schema.Tree, cfg.Sources)
 	for i := range trees {
 		trees[i] = genSource(cfg, concepts, labels, i)
 		if err := trees[i].Validate(); err != nil {
-			return nil, fmt.Errorf("synth: generated invalid tree %d: %w", i, err)
+			return nil, nil, fmt.Errorf("synth: generated invalid tree %d: %w", i, err)
 		}
 	}
-	return trees, nil
+	return trees, lex, nil
 }
 
 // Corpus generates n independent source-sets by stepping the seed with
@@ -188,8 +206,10 @@ func Corpus(cfg Config, n int) ([][]*schema.Tree, error) {
 // blueprint chooses the domain's concepts from the lexicon: a seeded
 // selection of synsets that are pairwise disjoint not only in members but
 // in their whole synonym closures, so that no perturbation can make two
-// distinct concepts synonymous.
-func blueprint(cfg Config) ([]concept, error) {
+// distinct concepts synonymous. The returned lexicon is cfg.Lexicon,
+// except when SynthVocab had to cover a concept shortfall — then it is a
+// clone extended with the synthesized synsets.
+func blueprint(cfg Config) ([]concept, *lexicon.Lexicon, error) {
 	lex := cfg.Lexicon
 	var candidates [][]string
 	for _, set := range lex.Synsets() {
@@ -253,10 +273,14 @@ func blueprint(cfg Config) ([]concept, error) {
 		concepts = append(concepts, c)
 	}
 	if len(concepts) < cfg.Concepts {
-		return nil, fmt.Errorf("synth: lexicon yields only %d disjoint concepts, want %d",
-			len(concepts), cfg.Concepts)
+		if !cfg.SynthVocab {
+			return nil, nil, fmt.Errorf("synth: lexicon yields only %d disjoint concepts, want %d",
+				len(concepts), cfg.Concepts)
+		}
+		lex = lex.Clone()
+		concepts = extendVocab(cfg, lex, concepts, reserved)
 	}
-	return concepts, nil
+	return concepts, lex, nil
 }
 
 // usableWord reports whether a synset member can serve as a field label

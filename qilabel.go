@@ -17,7 +17,6 @@ import (
 	"qilabel/internal/merge"
 	"qilabel/internal/metrics"
 	"qilabel/internal/naming"
-	"qilabel/internal/pool"
 	"qilabel/internal/render"
 	"qilabel/internal/schema"
 	"qilabel/internal/translate"
@@ -258,49 +257,20 @@ func Integrate(sources []*Tree, opts ...Option) (*Result, error) {
 // request. The embarrassingly-parallel stages fan out over
 // Config.Parallelism workers; parallel and serial runs produce identical
 // results. A nil ctx is treated as context.Background().
+//
+// IntegrateContext is a thin wrapper constructing a throwaway Integrator
+// per call; callers integrating repeatedly with the same options should
+// hold a NewIntegrator handle to reuse its scratch pools and cached
+// fingerprint.
 func IntegrateContext(ctx context.Context, sources []*Tree, opts ...Option) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if len(sources) == 0 {
 		return nil, errors.New("qilabel: no source interfaces")
 	}
-	var cfg Config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	stageStart := time.Now()
-	stageDone := func(stage string, units int) {
-		if cfg.Observer != nil {
-			cfg.Observer(StageEvent{Stage: stage, Units: units, Duration: time.Since(stageStart)})
-		}
-		stageStart = time.Now()
-	}
-
-	trees := make([]*schema.Tree, len(sources))
-	for i, s := range sources {
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("qilabel: source %d: %w", i, err)
-		}
-		trees[i] = s.Clone()
-	}
-	stageDone("validate", len(sources))
-
-	// The pipeline core (canonical ordering, 1:m expansion, matching,
-	// merging, naming) lives in internal/delta, shared with the
-	// incremental Session — one definition, so the one-shot and delta
-	// paths cannot drift apart.
-	out, err := delta.Run(ctx, trees, cfg.deltaConfig(), nil, stageDone)
+	ig, err := newIntegratorFromOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return resultFromOutcome(out, cfg.Lexicon), nil
+	return ig.IntegrateContext(ctx, sources)
 }
 
 // deltaConfig mirrors the behavior-affecting configuration into the delta
@@ -361,36 +331,29 @@ type BatchItem struct {
 // options apply to every set. Cancellation stops unstarted sets, which
 // report ctx.Err(); sets already computed keep their results.
 func IntegrateBatch(ctx context.Context, sets [][]*Tree, parallelism int, opts ...Option) []BatchItem {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	items := make([]BatchItem, len(sets))
-	firstOf := make(map[string]int, len(sets))
-	var distinct []int
-	for i, set := range sets {
-		items[i] = BatchItem{Index: i, Key: CacheKey(set, opts...)}
-		if _, dup := firstOf[items[i].Key]; dup {
-			items[i].Shared = true
-		} else {
-			firstOf[items[i].Key] = i
-			distinct = append(distinct, i)
+	ig, err := newIntegratorFromOptions(opts)
+	if err != nil {
+		// An invalid configuration fails every set the same way the
+		// per-set IntegrateContext used to (empty sets keep reporting
+		// their empty-input error, which took precedence).
+		if ctx == nil {
+			ctx = context.Background()
 		}
-	}
-	_ = pool.ForEach(ctx, parallelism, len(distinct), func(_, k int) {
-		i := distinct[k]
-		items[i].Result, items[i].Err = IntegrateContext(ctx, sets[i], opts...)
-	})
-	for i := range items {
-		if items[i].Shared {
-			src := &items[firstOf[items[i].Key]]
-			items[i].Result, items[i].Err = src.Result, src.Err
+		items := make([]BatchItem, len(sets))
+		seen := make(map[string]bool, len(sets))
+		for i, set := range sets {
+			items[i] = BatchItem{Index: i, Key: CacheKey(set, opts...), Err: err}
+			if len(set) == 0 {
+				items[i].Err = errors.New("qilabel: no source interfaces")
+			}
+			if seen[items[i].Key] {
+				items[i].Shared = true
+			}
+			seen[items[i].Key] = true
 		}
-		if items[i].Result == nil && items[i].Err == nil {
-			// The fan-out was canceled before this set ran.
-			items[i].Err = ctx.Err()
-		}
+		return items
 	}
-	return items
+	return ig.IntegrateBatch(ctx, sets, parallelism)
 }
 
 // Fingerprint renders the effective configuration the given options
@@ -448,8 +411,14 @@ func (r *Result) Verify() []Violation {
 }
 
 // VerifyStrings is Verify rendered as the historical plain-string
-// messages, kept so text-oriented consumers (scripts scraping labeler
-// output) see unchanged content.
+// messages.
+//
+// Deprecated: use Verify, which returns typed []Violation values carrying
+// the offending node and the violated rule alongside the detail text;
+// each string here is exactly the corresponding Violation's Detail. The
+// shim stays so text-oriented consumers (scripts scraping labeler output)
+// keep compiling and seeing unchanged content; TestVerifyTypedShim pins
+// the correspondence.
 func (r *Result) VerifyStrings() []string {
 	return r.Naming.VerifyVertical(naming.NewSemantics(r.lex))
 }

@@ -1,0 +1,189 @@
+package qilabel
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"qilabel/internal/delta"
+	"qilabel/internal/match"
+	"qilabel/internal/pool"
+	"qilabel/internal/schema"
+)
+
+// Integrator is the primary entry point of the package: a validated,
+// reusable handle over one configuration. Construction pays the per-config
+// costs exactly once — validation, freezing the compiled form of a custom
+// lexicon — and the handle owns the per-worker scratch pools the pipeline
+// stages reuse across calls, so a warm Integrator allocates measurably
+// less than the equivalent sequence of one-shot Integrate calls.
+//
+// The package-level Integrate, IntegrateContext, IntegrateBatch and
+// NewSession are thin wrappers constructing a throwaway Integrator per
+// call; anything integrating more than once with the same options — a
+// server keyed by request options, a corpus sweep, a benchmark loop —
+// should hold an Integrator instead.
+//
+// An Integrator is immutable after construction and safe for concurrent
+// use: every method may be called from any number of goroutines.
+type Integrator struct {
+	cfg     Config
+	scratch *match.Scratch
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// NewIntegrator validates cfg and returns a reusable handle over it. The
+// Config is copied; later mutations of cfg (or of slices/funcs it points
+// to) are not observed, with one deliberate exception: the Lexicon is held
+// by reference and must not be mutated after construction — its compiled
+// form is frozen here so no integration pays the lazy compile.
+func NewIntegrator(cfg Config) (*Integrator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Lexicon != nil {
+		cfg.Lexicon.Compile()
+	}
+	return &Integrator{cfg: cfg, scratch: &match.Scratch{}}, nil
+}
+
+// newIntegratorFromOptions is the wrappers' constructor: it applies the
+// options and validates, sharing NewIntegrator's definition so the two
+// construction styles cannot drift.
+func newIntegratorFromOptions(opts []Option) (*Integrator, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewIntegrator(cfg)
+}
+
+// Config returns a copy of the integrator's configuration.
+func (ig *Integrator) Config() Config { return ig.cfg }
+
+// Fingerprint returns the configuration's fingerprint (Config.Fingerprint),
+// computed on first use and cached for the integrator's lifetime — a
+// custom lexicon is serialized and hashed once, not per request.
+func (ig *Integrator) Fingerprint() string {
+	ig.fpOnce.Do(func() { ig.fp = ig.cfg.Fingerprint() })
+	return ig.fp
+}
+
+// CacheKey returns the deterministic key identifying an integration of the
+// given sources under this configuration — identical to the package-level
+// CacheKey(sources, opts...) for options building the same Config, but the
+// fingerprint component comes from the integrator's cache.
+func (ig *Integrator) CacheKey(sources []*Tree) string {
+	h := sha256.New()
+	io.WriteString(h, schema.HashTrees(sources))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, ig.Fingerprint())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// deltaConfig mirrors the configuration into the delta engine, threading
+// the integrator's scratch pools along.
+func (ig *Integrator) deltaConfig() delta.Config {
+	dc := ig.cfg.deltaConfig()
+	dc.MatchScratch = ig.scratch
+	return dc
+}
+
+// Integrate matches (if configured), merges and labels the given source
+// interfaces. The sources are deep-copied; the inputs are never modified.
+func (ig *Integrator) Integrate(sources []*Tree) (*Result, error) {
+	return ig.IntegrateContext(context.Background(), sources)
+}
+
+// IntegrateContext is Integrate under a context; see the package-level
+// IntegrateContext for the cancellation contract. A nil ctx is treated as
+// context.Background().
+func (ig *Integrator) IntegrateContext(ctx context.Context, sources []*Tree) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(sources) == 0 {
+		return nil, errors.New("qilabel: no source interfaces")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stageStart := time.Now()
+	stageDone := func(stage string, units int) {
+		if ig.cfg.Observer != nil {
+			ig.cfg.Observer(StageEvent{Stage: stage, Units: units, Duration: time.Since(stageStart)})
+		}
+		stageStart = time.Now()
+	}
+
+	trees := make([]*schema.Tree, len(sources))
+	for i, s := range sources {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("qilabel: source %d: %w", i, err)
+		}
+		trees[i] = s.Clone()
+	}
+	stageDone("validate", len(sources))
+
+	// The pipeline core (canonical ordering, 1:m expansion, matching,
+	// merging, naming) lives in internal/delta, shared with the
+	// incremental Session — one definition, so the one-shot and delta
+	// paths cannot drift apart.
+	out, err := delta.Run(ctx, trees, ig.deltaConfig(), nil, stageDone)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromOutcome(out, ig.cfg.Lexicon), nil
+}
+
+// IntegrateBatch integrates many source-tree sets; see the package-level
+// IntegrateBatch for the deduplication and cancellation contract. The sets
+// share this integrator's caches and scratch, and every set's Key comes
+// from the cached fingerprint.
+func (ig *Integrator) IntegrateBatch(ctx context.Context, sets [][]*Tree, parallelism int) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	items := make([]BatchItem, len(sets))
+	firstOf := make(map[string]int, len(sets))
+	var distinct []int
+	for i, set := range sets {
+		items[i] = BatchItem{Index: i, Key: ig.CacheKey(set)}
+		if _, dup := firstOf[items[i].Key]; dup {
+			items[i].Shared = true
+		} else {
+			firstOf[items[i].Key] = i
+			distinct = append(distinct, i)
+		}
+	}
+	_ = pool.ForEach(ctx, parallelism, len(distinct), func(_, k int) {
+		i := distinct[k]
+		items[i].Result, items[i].Err = ig.IntegrateContext(ctx, sets[i])
+	})
+	for i := range items {
+		if items[i].Shared {
+			src := &items[firstOf[items[i].Key]]
+			items[i].Result, items[i].Err = src.Result, src.Err
+		}
+		if items[i].Result == nil && items[i].Err == nil {
+			// The fan-out was canceled before this set ran.
+			items[i].Err = ctx.Err()
+		}
+	}
+	return items
+}
+
+// NewSession creates an empty incremental integration session over this
+// configuration. Sessions created from one Integrator share its scratch
+// pools and cached fingerprint; see Session for the delta-equivalence
+// contract.
+func (ig *Integrator) NewSession() *Session {
+	return &Session{inner: delta.NewSession(ig.deltaConfig()), ig: ig}
+}

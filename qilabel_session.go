@@ -38,7 +38,7 @@ var (
 // operation leaves the session state unchanged.
 type Session struct {
 	inner *delta.Session
-	cfg   Config
+	ig    *Integrator
 }
 
 // SessionStats profiles the most recent delta operation: total pipeline
@@ -77,16 +77,16 @@ type SessionTotals struct {
 
 // NewSession creates an empty incremental integration session with the
 // given options (the same options Integrate takes; Observer is unused by
-// sessions).
+// sessions). It is a thin wrapper over NewIntegrator + Integrator.NewSession;
+// callers opening many sessions with one configuration should hold the
+// Integrator and create sessions from it, sharing its scratch pools and
+// cached fingerprint.
 func NewSession(opts ...Option) (*Session, error) {
-	var cfg Config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if err := cfg.Validate(); err != nil {
+	ig, err := newIntegratorFromOptions(opts)
+	if err != nil {
 		return nil, err
 	}
-	return &Session{inner: delta.NewSession(cfg.deltaConfig()), cfg: cfg}, nil
+	return ig.NewSession(), nil
 }
 
 // AddSource validates and adds one source interface (the tree is cloned,
@@ -119,7 +119,7 @@ func (s *Session) Result() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return resultFromOutcome(out, s.cfg.Lexicon), nil
+	return resultFromOutcome(out, s.ig.cfg.Lexicon), nil
 }
 
 // Len returns the session's source count (duplicates counted).
@@ -172,17 +172,19 @@ func (s *Session) Totals() SessionTotals {
 }
 
 // Fingerprint returns the session configuration's fingerprint — exactly
-// Config.Fingerprint over the options the session was created with.
-func (s *Session) Fingerprint() string { return s.cfg.Fingerprint() }
+// Config.Fingerprint over the options the session was created with,
+// computed once and cached on the underlying Integrator.
+func (s *Session) Fingerprint() string { return s.ig.Fingerprint() }
 
 // CacheKey returns the CacheKey of the session's current source set under
 // its options: identical to CacheKey(s.Sources(), opts...), computed from
-// the tracked per-source hashes without re-hashing any tree. The key
-// identifies the session's Result in the server's cache.
+// the tracked per-source hashes without re-hashing any tree or
+// re-fingerprinting the configuration. The key identifies the session's
+// Result in the server's cache.
 func (s *Session) CacheKey() string {
 	h := sha256.New()
 	io.WriteString(h, schema.CombineHashes(s.inner.Hashes()))
 	io.WriteString(h, "\x00")
-	io.WriteString(h, s.cfg.Fingerprint())
+	io.WriteString(h, s.ig.Fingerprint())
 	return hex.EncodeToString(h.Sum(nil))
 }
