@@ -8,7 +8,11 @@
 // Repeated samples of one benchmark (from -count) are aggregated into mean
 // and minimum ns/op. Each -baseline name=ns flag (repeatable) emits a
 // speedup entry comparing the named benchmark's mean against a recorded
-// earlier measurement, so successive PRs can track the trajectory.
+// earlier measurement, so successive PRs can track the trajectory. With
+// -baseline-doc FILE (an earlier benchjson document, typically a committed
+// BENCH_pr*.json) a speedup entry is emitted for every benchmark present
+// in both that document and this run — the whole trajectory in one flag
+// instead of one -baseline per name.
 //
 // With -gate FILE the tool also acts as a regression gate: FILE is an
 // earlier benchjson document (typically the committed BENCH_pr*.json), and
@@ -64,6 +68,20 @@ type document struct {
 	Speedups   []speedup   `json:"speedups,omitempty"`
 }
 
+// loadDocument reads and parses an earlier benchjson document (the
+// -baseline-doc and -gate inputs).
+func loadDocument(path string) document {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading baseline document: %v", err)
+	}
+	var d document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		log.Fatalf("corrupt baseline document %s: %v", path, err)
+	}
+	return d
+}
+
 // benchLine matches one result line: name, iteration count, then
 // value/unit pairs ("ns/op", "B/op", "allocs/op", custom metrics).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
@@ -76,6 +94,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write the JSON document here (default stdout)")
+	baseDoc := flag.String("baseline-doc", "", "earlier benchjson document; emits a speedup entry for every benchmark present in both it and this run")
 	gate := flag.String("gate", "", "baseline benchjson document to gate against; regressions fail the run")
 	gateTol := flag.Float64("gate-tolerance", 0.15, "allowed fractional regression per metric before -gate fails")
 	baselines := map[string]float64{}
@@ -166,12 +185,14 @@ func main() {
 	}
 
 	var missing []string
+	covered := map[string]bool{}
 	for name, ns := range baselines {
 		b, ok := byName[name]
 		if !ok {
 			missing = append(missing, name)
 			continue
 		}
+		covered[name] = true
 		doc.Speedups = append(doc.Speedups, speedup{
 			Name: name, BaselineNs: ns, NsPerOp: b.NsPerOp, Ratio: ns / b.NsPerOp,
 		})
@@ -179,6 +200,26 @@ func main() {
 	sort.Strings(missing)
 	for _, name := range missing {
 		log.Printf("warning: baseline %q has no measurement on stdin", name)
+	}
+	if *baseDoc != "" {
+		// Every benchmark shared with the baseline document becomes a
+		// speedup entry; explicit -baseline flags win on conflicts so a
+		// hand-recorded reference measurement is never silently replaced.
+		shared := 0
+		for _, bb := range loadDocument(*baseDoc).Benchmarks {
+			cur, ok := byName[bb.Name]
+			if !ok || covered[bb.Name] || bb.NsPerOp <= 0 {
+				continue
+			}
+			shared++
+			doc.Speedups = append(doc.Speedups, speedup{
+				Name: bb.Name, BaselineNs: bb.NsPerOp, NsPerOp: cur.NsPerOp,
+				Ratio: bb.NsPerOp / cur.NsPerOp,
+			})
+		}
+		if shared == 0 {
+			log.Printf("warning: -baseline-doc %s shares no benchmarks with this run", *baseDoc)
+		}
 	}
 	sort.Slice(doc.Speedups, func(i, j int) bool { return doc.Speedups[i].Name < doc.Speedups[j].Name })
 
@@ -206,14 +247,7 @@ func main() {
 // benchmarks must be able to land, and retired ones must not wedge CI);
 // alloc comparison only applies when both sides recorded allocations.
 func runGate(path string, tol float64, byName map[string]benchmark) bool {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		log.Fatalf("reading gate baseline: %v", err)
-	}
-	var base document
-	if err := json.Unmarshal(raw, &base); err != nil {
-		log.Fatalf("corrupt gate baseline %s: %v", path, err)
-	}
+	base := loadDocument(path)
 	regressed := false
 	compared := 0
 	check := func(name, metric string, baseline, current float64) {

@@ -16,9 +16,12 @@ package delta
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"io"
 	"sort"
-	"strings"
+	"strconv"
 	"time"
 
 	"qilabel/internal/cluster"
@@ -49,6 +52,21 @@ type Config struct {
 	// one per configuration). Pure accelerator; nil degrades to per-run
 	// buffers.
 	MatchScratch *match.Scratch
+	// Warm, when non-nil, is the cross-run warm cache (interned label
+	// analyses, shared Relate verdicts, group/isolated/node solve caches)
+	// the run's analysis table is built through and the naming passes
+	// consult. Pure accelerator with byte-identical output; nil degrades
+	// to a per-run table. ReferenceKernels bypasses it.
+	Warm *naming.Warm
+	// MatchWarm, when non-nil, caches the matcher's block keys and pair
+	// verdicts across runs by field content. Pure accelerator; nil
+	// degrades to per-run derivation. ReferenceKernels bypasses it.
+	MatchWarm *match.Warm
+	// SourceLabels, when non-nil, memoizes each source tree's distinct
+	// label list by canonical hash so re-submitted sources skip the
+	// label-collection walk. Pure accelerator; nil degrades to a fresh
+	// walk. ReferenceKernels bypasses it.
+	SourceLabels *SourceLabelMemo
 }
 
 // Outcome is one pipeline run's full output: the working trees (clones,
@@ -91,18 +109,57 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 	if observe == nil {
 		observe = func(string, int) {}
 	}
-	CanonicalizeSourceOrder(trees)
+	hashes := canonicalizeSourceOrderHashed(trees)
 	cluster.ExpandOneToMany(trees)
+
+	// Corpus fingerprint for the warm caches' whole-run fast paths: the
+	// canonical pre-expansion hashes plus every behavior-affecting config
+	// facet determine the entire pipeline outcome (the same invariant
+	// CacheKey-based result sharing relies on), so stages can key replayable
+	// results by it. Empty when no warm cache is attached.
+	warmKey := ""
+	if !cfg.ReferenceKernels && (cfg.Warm != nil || cfg.MatchWarm != nil) {
+		h := sha256.New()
+		for _, hs := range hashes {
+			io.WriteString(h, hs)
+			io.WriteString(h, "\x00")
+		}
+		io.WriteString(h, strconv.FormatBool(cfg.UseMatcher))
+		io.WriteString(h, "|")
+		io.WriteString(h, strconv.FormatBool(cfg.DisableInstances))
+		io.WriteString(h, "|")
+		io.WriteString(h, strconv.Itoa(cfg.MaxLevel))
+		io.WriteString(h, "|")
+		io.WriteString(h, strconv.Itoa(cfg.MinFrequency))
+		warmKey = hex.EncodeToString(h.Sum(nil))
+	}
 
 	// One label-analysis table serves the whole run: the matcher's pairwise
 	// pass reads trimmed leaf labels, the naming phases read raw node
 	// labels, and both previously built separate tables over mostly the
 	// same strings. The table is a pure accelerator (labels outside it fall
 	// back to per-worker caches), so sharing it cannot change output — the
-	// reference path skips it entirely to stay a true baseline.
+	// reference path skips it entirely to stay a true baseline. With a warm
+	// handle, the table is interned through the cross-run caches: the
+	// source-label memo skips re-collecting labels of already-seen trees
+	// (keyed by the pre-expansion canonical hash, which determines the
+	// expanded labels), and the Warm cache skips re-analyzing already-seen
+	// labels.
 	var analysis *naming.Analysis
 	if !cfg.ReferenceKernels {
-		analysis = naming.PrecomputeAnalysis(cfg.Lexicon, runLabels(trees, cfg.UseMatcher))
+		var labels []string
+		for i, t := range trees {
+			if cfg.SourceLabels != nil {
+				labels = append(labels, cfg.SourceLabels.labels(t, hashes[i], cfg.UseMatcher)...)
+			} else {
+				labels = append(labels, treeLabels(t, cfg.UseMatcher)...)
+			}
+		}
+		if cfg.Warm != nil {
+			analysis = cfg.Warm.Analysis(labels)
+		} else {
+			analysis = naming.PrecomputeAnalysis(cfg.Lexicon, labels)
+		}
 	}
 
 	if cfg.UseMatcher {
@@ -123,6 +180,8 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 				DisableBlocking: cfg.ReferenceKernels,
 				Analysis:        analysis,
 				Scratch:         cfg.MatchScratch,
+				Warm:            cfg.MatchWarm,
+				WarmKey:         warmKey,
 			})
 		}
 		if err != nil {
@@ -158,6 +217,8 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 		DisableMemo:      cfg.ReferenceKernels,
 		Memo:             namingMemo,
 		Analysis:         analysis,
+		Warm:             cfg.Warm,
+		WarmKey:          warmKey,
 	})
 	if err != nil {
 		return nil, err
@@ -165,29 +226,6 @@ func Run(ctx context.Context, trees []*schema.Tree, cfg Config, caches *Caches, 
 	observe("naming", len(nres.Groups)+len(nres.Nodes))
 
 	return &Outcome{Trees: trees, Mapping: m, Merge: mr, Naming: nres}, nil
-}
-
-// runLabels collects every label the run will analyze: raw node labels
-// (the naming phases) plus, when the matcher runs, the trimmed leaf labels
-// its similarity signals compare. Duplicates are fine — PrecomputeAnalysis
-// dedups — and missing labels are fine too (per-worker fallback), so this
-// only has to be a good superset of the hot strings.
-func runLabels(trees []*schema.Tree, useMatcher bool) []string {
-	var labels []string
-	for _, t := range trees {
-		t.Root.Walk(func(n *schema.Node) bool {
-			if n.Label != "" {
-				labels = append(labels, n.Label)
-				if useMatcher && n.IsLeaf() {
-					if tr := strings.TrimSpace(n.Label); tr != n.Label && tr != "" {
-						labels = append(labels, tr)
-					}
-				}
-			}
-			return true
-		})
-	}
-	return labels
 }
 
 // CanonicalizeSourceOrder sorts the working copies of the sources by their
@@ -199,6 +237,13 @@ func runLabels(trees []*schema.Tree, useMatcher bool) []string {
 // identical trees compare equal and keep their relative order, which is
 // harmless — they are interchangeable everywhere downstream.
 func CanonicalizeSourceOrder(trees []*schema.Tree) {
+	canonicalizeSourceOrderHashed(trees)
+}
+
+// canonicalizeSourceOrderHashed is CanonicalizeSourceOrder returning the
+// canonical hashes aligned with the sorted trees, so Run can key per-source
+// caches without hashing twice.
+func canonicalizeSourceOrderHashed(trees []*schema.Tree) []string {
 	hashes := make(map[*schema.Tree]string, len(trees))
 	for _, tr := range trees {
 		hashes[tr] = tr.CanonicalHash()
@@ -206,6 +251,11 @@ func CanonicalizeSourceOrder(trees []*schema.Tree) {
 	sort.SliceStable(trees, func(i, j int) bool {
 		return hashes[trees[i]] < hashes[trees[j]]
 	})
+	out := make([]string, len(trees))
+	for i, tr := range trees {
+		out[i] = hashes[tr]
+	}
+	return out
 }
 
 // PruneRareClusters rebuilds the mapping without the clusters appearing on

@@ -23,7 +23,15 @@ type compiled struct {
 // invalidate drops the compiled tables; called by every mutating method.
 func (l *Lexicon) invalidate() {
 	l.frozen.Store(nil)
+	l.gen.Add(1)
 }
+
+// Generation returns the lexicon's mutation counter. Two equal readings
+// with no mutation in between guarantee every lexical query in the interval
+// answered from the same knowledge base, which lets long-lived caches of
+// query-derived facts (label analyses, Relate verdicts) detect staleness
+// with one atomic load instead of re-hashing the lexicon.
+func (l *Lexicon) Generation() uint64 { return l.gen.Load() }
 
 // Compile freezes the current knowledge base into the constant-time query
 // tables and returns l for chaining. Queries compile lazily on first use,

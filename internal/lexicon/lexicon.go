@@ -55,6 +55,10 @@ type Lexicon struct {
 	// several readers race to the first query.
 	frozen    atomic.Pointer[compiled]
 	compileMu sync.Mutex
+	// gen counts mutations (every invalidate bumps it). Cross-run caches
+	// keyed by lexical facts snapshot it and drop their contents when it
+	// moves — the epoch mechanism behind naming.Warm.
+	gen atomic.Uint64
 }
 
 // New returns an empty lexicon ready to be populated with AddSynonyms,

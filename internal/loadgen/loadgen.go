@@ -94,6 +94,15 @@ type Report struct {
 	CacheHits      int64 `json:"cacheHits"`
 	CacheMisses    int64 `json:"cacheMisses"`
 	CacheCoalesced int64 `json:"cacheCoalesced"`
+
+	// Server-side warm-cache counter deltas across the run: probes into
+	// the Integrator-owned cross-run caches (label interning, Relate
+	// verdicts, matcher keys and pair verdicts, solve/node derivations,
+	// source-label memo) summed over every layer, and the resulting hit
+	// rate (0 when the run triggered no cold pipeline work at all).
+	WarmHits    uint64  `json:"warmHits"`
+	WarmMisses  uint64  `json:"warmMisses"`
+	WarmHitRate float64 `json:"warmHitRate"`
 }
 
 // Reused returns every integration the run did not pay a full pipeline
@@ -186,7 +195,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	before, err := scrapeCache(ctx, opts)
+	before, err := scrapeMetrics(ctx, opts.Client, opts.BaseURL, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: reading /metrics before run: %w", err)
 	}
@@ -241,13 +250,18 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	report.Duration = time.Since(start)
 	report.Latency = percentiles(latencies)
 
-	after, err := scrapeCache(ctx, opts)
+	after, err := scrapeMetrics(ctx, opts.Client, opts.BaseURL, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: reading /metrics after run: %w", err)
 	}
-	report.CacheHits = after.Hits - before.Hits
-	report.CacheMisses = after.Misses - before.Misses
-	report.CacheCoalesced = after.Coalesced - before.Coalesced
+	report.CacheHits = after.Cache.Hits - before.Cache.Hits
+	report.CacheMisses = after.Cache.Misses - before.Cache.Misses
+	report.CacheCoalesced = after.Cache.Coalesced - before.Cache.Coalesced
+	report.WarmHits = after.Warm.hits() - before.Warm.hits()
+	report.WarmMisses = after.Warm.misses() - before.Warm.misses()
+	if probes := report.WarmHits + report.WarmMisses; probes > 0 {
+		report.WarmHitRate = float64(report.WarmHits) / float64(probes)
+	}
 	return &report, nil
 }
 
@@ -404,29 +418,64 @@ type cacheCounters struct {
 	Coalesced int64 `json:"coalesced"`
 }
 
-func scrapeCache(ctx context.Context, opts Options) (cacheCounters, error) {
-	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+// warmCounters is the /metrics warm section: per-layer hit/miss counters
+// of the Integrator-owned cross-run caches.
+type warmCounters struct {
+	LabelHits       uint64 `json:"labelHits"`
+	LabelMisses     uint64 `json:"labelMisses"`
+	VerdictHits     uint64 `json:"verdictHits"`
+	VerdictMisses   uint64 `json:"verdictMisses"`
+	SolveHits       uint64 `json:"solveHits"`
+	SolveMisses     uint64 `json:"solveMisses"`
+	NodeHits        uint64 `json:"nodeHits"`
+	NodeMisses      uint64 `json:"nodeMisses"`
+	MatchKeyHits    uint64 `json:"matchKeyHits"`
+	MatchKeyMisses  uint64 `json:"matchKeyMisses"`
+	MatchPairHits   uint64 `json:"matchPairHits"`
+	MatchPairMisses uint64 `json:"matchPairMisses"`
+	SourceHits      uint64 `json:"sourceHits"`
+	SourceMisses    uint64 `json:"sourceMisses"`
+}
+
+func (w warmCounters) hits() uint64 {
+	return w.LabelHits + w.VerdictHits + w.SolveHits + w.NodeHits +
+		w.MatchKeyHits + w.MatchPairHits + w.SourceHits
+}
+
+func (w warmCounters) misses() uint64 {
+	return w.LabelMisses + w.VerdictMisses + w.SolveMisses + w.NodeMisses +
+		w.MatchKeyMisses + w.MatchPairMisses + w.SourceMisses
+}
+
+// metricsCounters is the subset of the server's /metrics reply the load
+// generators diff across a run.
+type metricsCounters struct {
+	Cache    cacheCounters   `json:"cache"`
+	Warm     warmCounters    `json:"warm"`
+	Sessions sessionCounters `json:"sessions"`
+}
+
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string, timeout time.Duration) (metricsCounters, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimSuffix(opts.BaseURL, "/")+"/metrics", nil)
+		strings.TrimSuffix(baseURL, "/")+"/metrics", nil)
 	if err != nil {
-		return cacheCounters{}, err
+		return metricsCounters{}, err
 	}
-	resp, err := opts.Client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
-		return cacheCounters{}, err
+		return metricsCounters{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return cacheCounters{}, fmt.Errorf("/metrics returned %s", resp.Status)
+		return metricsCounters{}, fmt.Errorf("/metrics returned %s", resp.Status)
 	}
-	var snap struct {
-		Cache cacheCounters `json:"cache"`
-	}
+	var snap metricsCounters
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return cacheCounters{}, err
+		return metricsCounters{}, err
 	}
-	return snap.Cache, nil
+	return snap, nil
 }
 
 func percentiles(d []time.Duration) Percentiles {

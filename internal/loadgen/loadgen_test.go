@@ -63,6 +63,12 @@ func TestRunAgainstServer(t *testing.T) {
 	if rep.CacheMisses == 0 {
 		t.Errorf("/metrics shows no misses — did the run reach the server? %+v", rep)
 	}
+	if rep.WarmHits+rep.WarmMisses == 0 {
+		t.Errorf("/metrics shows no warm-cache probes — cold integrations should at least miss: %+v", rep)
+	}
+	if rep.WarmHitRate < 0 || rep.WarmHitRate > 1 {
+		t.Errorf("warm hit rate %v outside [0,1]", rep.WarmHitRate)
+	}
 	if rep.Latency.Max == 0 || rep.Latency.P50 > rep.Latency.Max {
 		t.Errorf("latency summary broken: %+v", rep.Latency)
 	}

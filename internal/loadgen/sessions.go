@@ -69,6 +69,12 @@ type SessionReport struct {
 	DeltaOps             int64 `json:"deltaOps"`
 	ReusedComponents     int64 `json:"reusedComponents"`
 	RecomputedComponents int64 `json:"recomputedComponents"`
+
+	// Server-side warm-cache counter deltas across the run (all
+	// Integrator-owned cache layers summed; see Report.WarmHits).
+	WarmHits    uint64  `json:"warmHits"`
+	WarmMisses  uint64  `json:"warmMisses"`
+	WarmHitRate float64 `json:"warmHitRate"`
 }
 
 func (o SessionOptions) withDefaults() SessionOptions {
@@ -105,7 +111,7 @@ func RunSessions(ctx context.Context, opts SessionOptions) (*SessionReport, erro
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	before, err := scrapeSessions(ctx, opts)
+	before, err := scrapeMetrics(ctx, opts.Client, opts.BaseURL, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: reading /metrics before run: %w", err)
 	}
@@ -154,15 +160,20 @@ func RunSessions(ctx context.Context, opts SessionOptions) (*SessionReport, erro
 	report.DeltaLatency = percentiles(deltas)
 	report.FullLatency = percentiles(fulls)
 
-	after, err := scrapeSessions(ctx, opts)
+	after, err := scrapeMetrics(ctx, opts.Client, opts.BaseURL, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: reading /metrics after run: %w", err)
 	}
-	for op, n := range after.DeltaOps {
-		report.DeltaOps += n - before.DeltaOps[op]
+	for op, n := range after.Sessions.DeltaOps {
+		report.DeltaOps += n - before.Sessions.DeltaOps[op]
 	}
-	report.ReusedComponents = after.Reused - before.Reused
-	report.RecomputedComponents = after.Recomputed - before.Recomputed
+	report.ReusedComponents = after.Sessions.Reused - before.Sessions.Reused
+	report.RecomputedComponents = after.Sessions.Recomputed - before.Sessions.Recomputed
+	report.WarmHits = after.Warm.hits() - before.Warm.hits()
+	report.WarmMisses = after.Warm.misses() - before.Warm.misses()
+	if probes := report.WarmHits + report.WarmMisses; probes > 0 {
+		report.WarmHitRate = float64(report.WarmHits) / float64(probes)
+	}
 	return &report, nil
 }
 
@@ -297,29 +308,4 @@ type sessionCounters struct {
 	DeltaOps   map[string]int64 `json:"deltaOps"`
 	Reused     int64            `json:"reusedComponents"`
 	Recomputed int64            `json:"recomputedComponents"`
-}
-
-func scrapeSessions(ctx context.Context, opts SessionOptions) (sessionCounters, error) {
-	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimSuffix(opts.BaseURL, "/")+"/metrics", nil)
-	if err != nil {
-		return sessionCounters{}, err
-	}
-	resp, err := opts.Client.Do(req)
-	if err != nil {
-		return sessionCounters{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return sessionCounters{}, fmt.Errorf("/metrics returned %s", resp.Status)
-	}
-	var snap struct {
-		Sessions sessionCounters `json:"sessions"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return sessionCounters{}, err
-	}
-	return snap.Sessions, nil
 }

@@ -73,6 +73,20 @@ type Options struct {
 	// one Scratch per configuration so warm integrations stop paying the
 	// per-row allocation. A nil Scratch degrades to per-call buffers.
 	Scratch *Scratch
+	// Warm, when non-nil, caches block keys and pair verdicts across runs
+	// by field content (the Integrator owns one per configuration). Both
+	// facts are pure functions of (content, lexicon, threshold), so the
+	// assignment is identical with or without it. Ignored under
+	// DisableBlocking or when the Warm was built for a different lexicon
+	// or threshold.
+	Warm *Warm
+	// WarmKey, when non-empty alongside Warm, is the caller's fingerprint
+	// of the exact canonical source content plus every assignment-affecting
+	// option. Because the whole pipeline is a pure function of that content
+	// (the invariant IntegrateBatch's result sharing already relies on), an
+	// identical key means an identical assignment: the warm cache replays
+	// the leaf->cluster vector and skips the pairwise pass entirely.
+	WarmKey string
 }
 
 // Scratch pools the per-worker buffers of the pairwise pass so repeated
@@ -84,9 +98,30 @@ type Scratch struct {
 }
 
 // rowBuf is one worker's reusable state: the candidate-index buffer the
-// blocked pass fills and sorts once per row.
+// blocked pass fills once per row, and the seen-stamp array that
+// deduplicates postings in O(1) per posting (stamp[j] == epoch marks j as
+// already collected for the current row, so no per-row clearing).
 type rowBuf struct {
-	cand []int
+	cand  []int
+	stamp []int32
+	epoch int32
+}
+
+// beginRow prepares the buffer for one row over n fields and returns the
+// row's stamp epoch.
+func (b *rowBuf) beginRow(n int) int32 {
+	if len(b.stamp) < n {
+		b.stamp = make([]int32, n)
+		b.epoch = 0
+	}
+	b.epoch++
+	if b.epoch == 0 { // wrapped: stamps from older epochs could collide
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.epoch = 1
+	}
+	return b.epoch
 }
 
 func (s *Scratch) get() *rowBuf {
@@ -132,7 +167,37 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 		prefix = "m"
 	}
 
+	// The cross-run warm cache applies only to the blocked pass (the
+	// reference pass stays cold) and only when it was built for this
+	// lexicon and threshold — a verdict is a pure function of both.
+	warm := opts.Warm
+	if opts.DisableBlocking || warm == nil ||
+		warm.lex != sem.Lexicon() || warm.minOverlap != opts.MinInstanceOverlap {
+		warm = nil
+	}
+	if warm != nil {
+		warm.ensureEpoch()
+	}
+
+	// Whole-corpus fast path: a remembered corpus fingerprint replays the
+	// exact leaf->cluster vector (leaves enumerate in the same canonical
+	// order both times) without normalizing a single field.
+	akey := ""
+	if warm != nil && opts.WarmKey != "" {
+		akey = opts.WarmKey + "|a|" + prefix
+		if e, ok := warm.assignLookup(akey); ok {
+			if applyAssignment(trees, e.names) {
+				return e.n, nil
+			}
+		}
+	}
+
 	fields := collectFields(trees)
+
+	var ids []int32 // stable warm content IDs, aligned with fields
+	if warm != nil {
+		ids = make([]int32, len(fields))
+	}
 
 	// The shared analysis table normalizes every field label once; each
 	// worker's Semantics reads it instead of re-analyzing into a cold
@@ -153,12 +218,23 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 			analysis = naming.PrecomputeAnalysis(sem.Lexicon(), labels)
 		}
 
-		// Block-key index: key -> fields carrying it, in index order.
+		// Block-key index: key -> fields carrying it, in index order. With
+		// a warm cache, contents seen by an earlier run skip the derivation.
 		keySem := analysis.Semantics()
 		keys = make([][]string, len(fields))
 		index = make(map[string][]int)
 		for i := range fields {
-			keys[i] = blockKeys(keySem, &fields[i], opts.MinInstanceOverlap)
+			if warm != nil {
+				ck := contentKey(&fields[i])
+				ks, id, ok := warm.fieldKeys(ck)
+				if !ok {
+					ks = blockKeys(keySem, &fields[i], opts.MinInstanceOverlap)
+					id = warm.internKeys(ck, ks)
+				}
+				keys[i], ids[i] = ks, id
+			} else {
+				keys[i] = blockKeys(keySem, &fields[i], opts.MinInstanceOverlap)
+			}
 			for _, k := range keys[i] {
 				index[k] = append(index[k], i)
 			}
@@ -201,26 +277,40 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 			return
 		}
 		// Candidates: fields after i sharing at least one block key,
-		// deduplicated and in ascending order so the matched set comes out
-		// exactly as the exhaustive scan would produce it. The buffer is
-		// per-worker and pooled across calls.
+		// deduplicated by seen-stamps. The candidate *set* is exactly what
+		// the exhaustive scan evaluates; its order follows the posting
+		// lists instead of ascending j, which cannot change the outcome —
+		// verdicts are pure, and the union-find components (hence the
+		// cluster assignment) are invariant to the union order. The buffer
+		// is per-worker and pooled across calls.
 		if rows[w] == nil {
 			rows[w] = scratch.get()
 		}
-		cand := rows[w].cand[:0]
+		rb := rows[w]
+		epoch := rb.beginRow(len(fields))
+		cand := rb.cand[:0]
 		for _, k := range keys[i] {
 			for _, j := range index[k] {
-				if j > i && fields[j].iface != fi.iface {
+				if j > i && fields[j].iface != fi.iface && rb.stamp[j] != epoch {
+					rb.stamp[j] = epoch
 					cand = append(cand, j)
 				}
 			}
 		}
-		sort.Ints(cand)
-		for c, j := range cand {
-			if c > 0 && cand[c-1] == j {
-				continue
+		for _, j := range cand {
+			var matched bool
+			if warm != nil {
+				key := pairIDKey(ids[i], ids[j])
+				v, ok := warm.pair(key)
+				if !ok {
+					v = matchFields(sems[w], fi, &fields[j], opts.MinInstanceOverlap)
+					warm.storePair(key, v)
+				}
+				matched = v
+			} else {
+				matched = matchFields(sems[w], fi, &fields[j], opts.MinInstanceOverlap)
 			}
-			if matchFields(sems[w], fi, &fields[j], opts.MinInstanceOverlap) {
+			if matched {
 				matches[i] = append(matches[i], j)
 			}
 		}
@@ -234,7 +324,37 @@ func AssignContext(ctx context.Context, trees []*schema.Tree, opts Options) (int
 	if err != nil {
 		return 0, err
 	}
-	return clusterize(fields, matches, prefix), nil
+	n := clusterize(fields, matches, prefix)
+	if akey != "" {
+		names := make([]string, len(fields))
+		for i := range fields {
+			names[i] = fields[i].leaf.Cluster
+		}
+		warm.assignStore(akey, assignEntry{names: names, n: n})
+	}
+	return n, nil
+}
+
+// applyAssignment writes a cached leaf->cluster vector onto the trees'
+// leaves in the same enumeration order collectFields flattens them. A
+// length mismatch (a colliding key, which a sha256 corpus fingerprint makes
+// vanishingly unlikely) reports false and writes nothing.
+func applyAssignment(trees []*schema.Tree, names []string) bool {
+	total := 0
+	for _, t := range trees {
+		total += len(t.Leaves())
+	}
+	if total != len(names) {
+		return false
+	}
+	idx := 0
+	for _, t := range trees {
+		for _, leaf := range t.Leaves() {
+			leaf.Cluster = names[idx]
+			idx++
+		}
+	}
+	return true
 }
 
 // collectFields flattens the trees' leaves into fieldInfos with the

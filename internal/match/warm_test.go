@@ -1,0 +1,62 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWarmKeyCapBound: an adversarial stream of distinct field contents
+// must never push the key table past its cap, and verdicts keyed by the
+// interned IDs stay bounded by the pair cap.
+func TestWarmKeyCapBound(t *testing.T) {
+	const keyCap = 32
+	const pairCap = 128
+	w := NewWarm(nil, 0, keyCap, pairCap)
+	var ids []int32
+	for i := 0; i < 500; i++ {
+		ck := fmt.Sprintf("content-%d", i)
+		if _, _, ok := w.fieldKeys(ck); ok {
+			t.Fatalf("distinct content %d reported as cached", i)
+		}
+		ids = append(ids, w.internKeys(ck, []string{"k"}))
+		if st := w.Stats(); st.Keys > keyCap {
+			t.Fatalf("after %d interns the key table holds %d, cap is %d", i+1, st.Keys, keyCap)
+		}
+	}
+	// IDs are never reused within the epoch, even across evictions: a
+	// verdict keyed by two IDs can only mean one content pair.
+	seen := make(map[int32]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("ID %d issued twice within one epoch", id)
+		}
+		seen[id] = true
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		w.storePair(pairIDKey(ids[i], ids[i+1]), i%2 == 0)
+		if st := w.Stats(); st.Pairs > pairCap {
+			t.Fatalf("after %d verdicts the pair table holds %d, cap is %d", i+1, st.Pairs, pairCap)
+		}
+	}
+	st := w.Stats()
+	if st.KeyMisses != 500 {
+		t.Errorf("KeyMisses = %d, want 500", st.KeyMisses)
+	}
+	if st.Keys == 0 || st.Pairs == 0 {
+		t.Errorf("tables empty after adversarial load: %+v", st)
+	}
+}
+
+// TestWarmAssignBound: the whole-corpus assignment table is bounded too.
+func TestWarmAssignBound(t *testing.T) {
+	w := NewWarm(nil, 0, 0, 0)
+	for i := 0; i < DefaultWarmAssignCap*2; i++ {
+		w.assignStore(fmt.Sprintf("corpus-%d|a|m", i), assignEntry{names: []string{"m_001"}, n: 1})
+		if st := w.Stats(); st.Assigns > DefaultWarmAssignCap {
+			t.Fatalf("assignment table holds %d, cap is %d", st.Assigns, DefaultWarmAssignCap)
+		}
+	}
+	if e, ok := w.assignLookup(fmt.Sprintf("corpus-%d|a|m", DefaultWarmAssignCap*2-1)); !ok || e.n != 1 {
+		t.Fatal("newest assignment entry unreachable")
+	}
+}

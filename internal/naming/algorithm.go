@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strconv"
 	"strings"
 
 	"qilabel/internal/cluster"
@@ -81,6 +82,22 @@ type Options struct {
 	// pins this byte for byte). The memo must not be shared between
 	// concurrent runs.
 	Memo *RunMemo
+	// Warm, when non-nil, is the cross-run warm cache of a long-lived
+	// handle: group solves, isolated elections and per-node candidate
+	// derivations are answered from it across any number of concurrent
+	// runs, keyed by the same content signatures the Memo uses (so reuse is
+	// equally output-preserving). Probed after the Memo; misses feed both.
+	// Ignored under DisableMemo or when built over a different lexicon.
+	Warm *Warm
+	// WarmKey, when non-empty alongside Warm, is the caller's fingerprint of
+	// the exact canonical source content plus every behavior-affecting
+	// option — the invariant the pipeline's result sharing already relies
+	// on: an identical key means an identical merge result, so group,
+	// isolated and node outcomes can be cached under cheap positional keys
+	// (key + unit index) probed before the content signatures are even
+	// built. Content-signature caching remains the fallback, so corpora
+	// that merely overlap a previous run still reuse per-unit work.
+	WarmKey string
 }
 
 // GroupReport records the solving of one group.
@@ -203,29 +220,77 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	units := collectSourceUnits(mr.Sources)
 
 	// ---- Phase 1a: groups. -----------------------------------------------
-	// With a memo, relations are built and signatures consulted serially;
-	// only the cache misses fan out to the solver workers, and their
-	// results are stored serially afterwards. Reused outcomes are rebound
-	// to the current run's cluster objects; reused counter tallies merge
-	// exactly as a fresh solve's would (addition commutes).
+	// With a memo or warm cache, relations are built and signatures
+	// consulted serially; only the cache misses fan out to the solver
+	// workers, and their results are stored serially afterwards. Reused
+	// outcomes are rebound to the current run's cluster objects; reused
+	// counter tallies merge exactly as a fresh solve's would (addition
+	// commutes). The session memo is probed first (it is private to the
+	// run), the shared warm cache second; a warm hit seeds the memo and a
+	// miss feeds both.
 	memo := opts.Memo
 	memo.beginRun()
+	warm := opts.Warm
+	if opts.DisableMemo || (warm != nil && warm.lex != sem.Lexicon()) {
+		warm = nil
+	}
+	if warm != nil {
+		warm.ensureEpoch()
+	}
+	// Cheap positional keys: with a corpus fingerprint, every unit's outcome
+	// is additionally cached under (fingerprint, unit index) — the pipeline
+	// is deterministic, so the i-th group of an identical corpus is the same
+	// group. A cheap hit skips building the relation and the content
+	// signature entirely; misses resolve through the content signatures and
+	// then alias-store under the cheap key for the next identical run.
+	cheap := ""
+	if warm != nil && opts.WarmKey != "" {
+		cheap = opts.WarmKey
+	}
 	groupOuts := make([]*GroupOutcome, len(mr.Groups))
 	groupCounters := make([]Counters, len(mr.Groups))
-	if memo != nil {
+	if memo != nil || warm != nil {
 		rels := make([]*cluster.Relation, len(mr.Groups))
 		sigs := make([]string, len(mr.Groups))
 		var miss []int
 		for i, g := range mr.Groups {
+			gkey := ""
+			if cheap != "" {
+				gkey = cheap + "|g|" + strconv.Itoa(i)
+				if e, ok := warm.groups.lookup(gkey); ok {
+					groupOuts[i] = e.outcomeFor(g)
+					groupCounters[i] = e.counters
+					continue
+				}
+			}
 			rels[i] = cluster.BuildRelation(g, ifaces)
 			sigs[i] = groupSignature(g, rels[i], sopts)
-			if e, ok := memo.lookupGroup(sigs[i]); ok {
-				groupOuts[i] = e.outcomeFor(g)
-				groupCounters[i] = e.counters
-				memo.GroupsReused++
-			} else {
-				miss = append(miss, i)
+			if memo != nil {
+				if e, ok := memo.lookupGroup(sigs[i]); ok {
+					groupOuts[i] = e.outcomeFor(g)
+					groupCounters[i] = e.counters
+					memo.GroupsReused++
+					if gkey != "" {
+						warm.groups.store(gkey, groupEntry{outcome: e.outcome, counters: e.counters})
+					}
+					continue
+				}
 			}
+			if warm != nil {
+				if e, ok := warm.groups.lookup(sigs[i]); ok {
+					groupOuts[i] = e.outcomeFor(g)
+					groupCounters[i] = e.counters
+					if memo != nil {
+						memo.storeGroup(sigs[i], e.outcome, e.counters)
+						memo.GroupsReused++
+					}
+					if gkey != "" {
+						warm.groups.store(gkey, e)
+					}
+					continue
+				}
+			}
+			miss = append(miss, i)
 		}
 		err := pool.ForEach(ctx, workers, len(miss), func(w, k int) {
 			i := miss[k]
@@ -237,8 +302,17 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 			return nil, err
 		}
 		for _, i := range miss {
-			memo.storeGroup(sigs[i], groupOuts[i], groupCounters[i])
-			memo.GroupsComputed++
+			if memo != nil {
+				memo.storeGroup(sigs[i], groupOuts[i], groupCounters[i])
+				memo.GroupsComputed++
+			}
+			if warm != nil {
+				e := groupEntry{outcome: groupOuts[i], counters: groupCounters[i]}
+				warm.groups.store(sigs[i], e)
+				if cheap != "" {
+					warm.groups.store(cheap+"|g|"+strconv.Itoa(i), e)
+				}
+			}
 		}
 	} else {
 		err := pool.ForEach(ctx, workers, len(mr.Groups), func(w, i int) {
@@ -261,25 +335,59 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 		})
 	}
 	if len(mr.Root) > 0 {
-		rel := cluster.BuildRelation(mr.Root, ifaces)
 		var out *GroupOutcome
-		if memo != nil {
-			sig := groupSignature(mr.Root, rel, sopts)
-			if e, ok := memo.lookupGroup(sig); ok {
+		rootCheap := false
+		if cheap != "" {
+			if e, ok := warm.groups.lookup(cheap + "|g|root"); ok {
 				out = e.outcomeFor(mr.Root)
 				res.Counters.Merge(e.counters)
-				memo.GroupsReused++
-			} else {
-				var cnt Counters
-				so := sopts
-				so.Counters = &cnt
-				out = sem.SolveGroup(rel, so)
-				memo.storeGroup(sig, out, cnt)
-				memo.GroupsComputed++
-				res.Counters.Merge(cnt)
+				rootCheap = true
 			}
-		} else {
-			out = sem.SolveGroup(rel, sopts)
+		}
+		if !rootCheap {
+			rel := cluster.BuildRelation(mr.Root, ifaces)
+			if memo != nil || warm != nil {
+				sig := groupSignature(mr.Root, rel, sopts)
+				var e groupEntry
+				var hit bool
+				if memo != nil {
+					if e, hit = memo.lookupGroup(sig); hit {
+						memo.GroupsReused++
+					}
+				}
+				if !hit && warm != nil {
+					if e, hit = warm.groups.lookup(sig); hit && memo != nil {
+						memo.storeGroup(sig, e.outcome, e.counters)
+						memo.GroupsReused++
+					}
+				}
+				if hit {
+					out = e.outcomeFor(mr.Root)
+					res.Counters.Merge(e.counters)
+					if cheap != "" {
+						warm.groups.store(cheap+"|g|root", e)
+					}
+				} else {
+					var cnt Counters
+					so := sopts
+					so.Counters = &cnt
+					out = sem.SolveGroup(rel, so)
+					if memo != nil {
+						memo.storeGroup(sig, out, cnt)
+						memo.GroupsComputed++
+					}
+					if warm != nil {
+						e := groupEntry{outcome: out, counters: cnt}
+						warm.groups.store(sig, e)
+						if cheap != "" {
+							warm.groups.store(cheap+"|g|root", e)
+						}
+					}
+					res.Counters.Merge(cnt)
+				}
+			} else {
+				out = sem.SolveGroup(rel, sopts)
+			}
 		}
 		res.Groups = append(res.Groups, &GroupReport{
 			Clusters: clusterNames(mr.Root),
@@ -289,13 +397,37 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 	}
 
 	// ---- Phase 1b: isolated clusters. --------------------------------------
-	for _, c := range mr.Isolated {
-		if memo != nil {
+	for ci, c := range mr.Isolated {
+		if memo != nil || warm != nil {
+			ikey := ""
+			if cheap != "" {
+				ikey = cheap + "|s|" + strconv.Itoa(ci)
+				if e, ok := warm.isolated.lookup(ikey); ok {
+					res.IsolatedLabels[c.Name] = e.label
+					res.Counters.Merge(e.counters)
+					continue
+				}
+			}
 			sig := isolatedSignature(c, sopts)
-			if e, ok := memo.lookupIsolated(sig); ok {
+			var e isolatedEntry
+			var hit bool
+			if memo != nil {
+				if e, hit = memo.lookupIsolated(sig); hit {
+					memo.IsolatedReused++
+				}
+			}
+			if !hit && warm != nil {
+				if e, hit = warm.isolated.lookup(sig); hit && memo != nil {
+					memo.storeIsolated(sig, e.label, e.counters)
+					memo.IsolatedReused++
+				}
+			}
+			if hit {
 				res.IsolatedLabels[c.Name] = e.label
 				res.Counters.Merge(e.counters)
-				memo.IsolatedReused++
+				if ikey != "" {
+					warm.isolated.store(ikey, e)
+				}
 			} else {
 				var cnt Counters
 				so := sopts
@@ -303,8 +435,17 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 				label := sem.LabelIsolated(c, so)
 				res.IsolatedLabels[c.Name] = label
 				res.Counters.Merge(cnt)
-				memo.storeIsolated(sig, label, cnt)
-				memo.IsolatedComputed++
+				if memo != nil {
+					memo.storeIsolated(sig, label, cnt)
+					memo.IsolatedComputed++
+				}
+				if warm != nil {
+					e := isolatedEntry{label: label, counters: cnt}
+					warm.isolated.store(sig, e)
+					if ikey != "" {
+						warm.isolated.store(ikey, e)
+					}
+				}
 			}
 			continue
 		}
@@ -319,16 +460,123 @@ func RunContext(ctx context.Context, mr *merge.Result, opts Options) (*Result, e
 		}
 		return true
 	})
+
 	nodeOuts := make([]*NodeReport, len(internals))
 	nodeCounters := make([]Counters, len(internals))
-	err := pool.ForEach(ctx, workers, len(internals), func(w, i int) {
+
+	// Cheap pre-pass: with a corpus fingerprint, the i-th internal node of
+	// an identical corpus is the same node (the tree walk is deterministic),
+	// so its derivation — including its sorted leaf set — replays from the
+	// positional key without touching the content signatures below.
+	work := make([]int, 0, len(internals))
+	for i := range internals {
+		if cheap != "" {
+			if e, ok := warm.nodes.lookup(cheap + "|n|" + strconv.Itoa(i)); ok {
+				nodeCounters[i] = e.counters
+				nodeOuts[i] = &NodeReport{
+					Node:           internals[i],
+					Clusters:       e.clusters,
+					Candidates:     e.cands,
+					PotentialCount: e.potentials,
+				}
+				continue
+			}
+		}
+		work = append(work, i)
+	}
+
+	// With a warm cache, each remaining node's derivation is keyed by a
+	// content signature covering exactly what candidateLabels reads: the
+	// solver options, the member content of every cluster in the node's leaf
+	// set X (bound to its name, since units reference clusters by name), and
+	// the sub-list of source units whose cluster sets fall inside X — the
+	// only units the derivation ever consults (both the potential scan and
+	// LI 5 filter on ⊆ X). The per-cluster and per-unit fragments are
+	// serialized once per run (skipped entirely when the cheap pre-pass
+	// answered every node); each node concatenates the relevant ones.
+	var clusterSig map[string]string
+	var unitSigs []string
+	if warm != nil && len(work) > 0 {
+		clusterSig = make(map[string]string, len(mr.Mapping.Clusters))
+		for _, c := range mr.Mapping.Clusters {
+			var b strings.Builder
+			sigMembers(&b, c)
+			clusterSig[c.Name] = b.String()
+		}
+		unitSigs = make([]string, len(units))
+		for i, u := range units {
+			var b strings.Builder
+			sigString(&b, u.iface)
+			sigString(&b, u.label)
+			names := make([]string, 0, len(u.clusters))
+			for n := range u.clusters {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			b.WriteString(strconv.Itoa(len(names)))
+			for _, n := range names {
+				sigString(&b, n)
+			}
+			unitSigs[i] = b.String()
+		}
+	}
+
+	err := pool.ForEach(ctx, workers, len(work), func(w, k int) {
+		i := work[k]
 		so := sopts
 		so.Counters = &nodeCounters[i]
 		x := internals[i].LeafClusters()
+		names := sortedKeys(x)
+		if warm != nil {
+			var b strings.Builder
+			b.WriteByte('n')
+			sigOptions(&b, sopts)
+			for _, nm := range names {
+				sigString(&b, nm)
+				b.WriteString(clusterSig[nm])
+			}
+			b.WriteByte('u')
+			var sub []sourceUnit
+			for k := range units {
+				if subsetSet(units[k].clusters, x) {
+					sub = append(sub, units[k])
+					b.WriteString(unitSigs[k])
+				}
+			}
+			sig := b.String()
+			if e, ok := warm.nodes.lookup(sig); ok {
+				nodeCounters[i] = e.counters
+				nodeOuts[i] = &NodeReport{
+					Node:           internals[i],
+					Clusters:       names,
+					Candidates:     e.cands,
+					PotentialCount: e.potentials,
+				}
+				if cheap != "" {
+					warm.nodes.store(cheap+"|n|"+strconv.Itoa(i), e)
+				}
+				return
+			}
+			// Passing only the ⊆-X units is output-identical: every read of
+			// the unit list filters on that condition.
+			cands, potentials := semFor(w).candidateLabels(x, sub, mr.Mapping, so)
+			e := nodeEntry{clusters: names, cands: cands, potentials: potentials, counters: nodeCounters[i]}
+			warm.nodes.store(sig, e)
+			if cheap != "" {
+				warm.nodes.store(cheap+"|n|"+strconv.Itoa(i), e)
+			}
+			nodeOuts[i] = &NodeReport{
+				Node:           internals[i],
+				Clusters:       names,
+				Candidates:     cands,
+				PotentialCount: potentials,
+			}
+			return
+		}
 		cands, potentials := semFor(w).candidateLabels(x, units, mr.Mapping, so)
 		nodeOuts[i] = &NodeReport{
 			Node:           internals[i],
-			Clusters:       sortedKeys(x),
+			Clusters:       names,
 			Candidates:     cands,
 			PotentialCount: potentials,
 		}

@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"fmt"
 	"testing"
 
 	"qilabel/internal/cluster"
@@ -38,6 +39,49 @@ func BenchmarkRun(b *testing.B) {
 		if _, err := Run(mr, Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRelateMemo measures the per-Semantics Relate memo under its
+// two-generation eviction bound (relMemoLimit). "resident" keeps the
+// working set inside one generation — the pure hit path the group solver
+// rides. "churn" cycles a working set larger than a full generation, the
+// pattern the historical wholesale clear thrashed on: every pass wiped the
+// memo and re-derived every verdict, whereas the two-generation rotation
+// keeps the re-referenced half warm. A regression in either sub-benchmark
+// against the committed baseline trips the CI bench gate.
+func BenchmarkRelateMemo(b *testing.B) {
+	labels := make([]string, 360)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("departure city %d", i)
+	}
+	for _, mode := range []struct {
+		name string
+		n    int
+	}{
+		// 60 labels -> 3.6k ordered pairs: well inside one generation.
+		{"resident", 60},
+		// 360 labels -> 129.6k ordered pairs: past a full generation
+		// (relMemoLimit/2 = 64k), so every pass rotates at least once.
+		{"churn", 360},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sem := NewSemantics(nil)
+			// Pre-warm the label analyses so the loop times memo behavior,
+			// not tokenization.
+			for _, l := range labels[:mode.n] {
+				sem.Relate(l, l)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for x := 0; x < mode.n; x++ {
+					for y := 0; y < mode.n; y++ {
+						sem.Relate(labels[x], labels[y])
+					}
+				}
+			}
+		})
 	}
 }
 

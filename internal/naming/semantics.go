@@ -101,6 +101,10 @@ type Analysis struct {
 	lex     *lexicon.Lexicon
 	byLabel map[string]*labelWords
 	ids     map[string]int32
+	// warm, when non-nil, is the cross-run cache the table was interned
+	// through; Semantics derived from the table consult its shared Relate
+	// verdicts for table-label pairs.
+	warm *Warm
 }
 
 // PrecomputeAnalysis analyzes every distinct label in labels over the given
@@ -132,15 +136,15 @@ func PrecomputeAnalysis(lex *lexicon.Lexicon, labels []string) *Analysis {
 func (a *Analysis) Semantics() *Semantics {
 	s := NewSemantics(a.lex)
 	s.shared = a
+	s.warm = a.warm
 	return s
 }
 
-// relMemoLimit bounds the per-Semantics memo of Relate verdicts. When the
-// memo fills (pathological workloads with unbounded distinct label pairs)
-// it is reset rather than grown, keeping long-lived Semantics — the
-// long-running server's verify path, REPL-style callers — at a flat memory
-// ceiling of ~2 MiB while staying maximally warm for the group solver's
-// quadratic access patterns.
+// relMemoLimit bounds the per-Semantics memo of Relate verdicts (the sum
+// of its two generations — see memoStore), keeping long-lived Semantics —
+// the long-running server's verify path, REPL-style callers — at a flat
+// memory ceiling of ~2 MiB while staying maximally warm for the group
+// solver's quadratic access patterns.
 const relMemoLimit = 1 << 17
 
 // Semantics evaluates Definition 1's relationships using a lexicon. It
@@ -149,9 +153,11 @@ const relMemoLimit = 1 << 17
 type Semantics struct {
 	lex    *lexicon.Lexicon
 	shared *Analysis // optional read-only table (nil: none)
+	warm   *Warm     // optional shared cross-run verdict cache (nil: none)
 	cache  map[string]*labelWords
-	ids    map[string]int32 // local label IDs, offset past the shared table's
+	ids    map[string]int32 // local label IDs (negative: disjoint from table IDs)
 	memo   map[uint64]Rel   // Relate verdicts keyed by interned label-pair IDs
+	old    map[uint64]Rel   // previous memo generation (see memoStore)
 	noMemo bool
 
 	// Reusable scratch for the group solver's hot loops (a Semantics is
@@ -234,7 +240,11 @@ func analyzeLabel(lex *lexicon.Lexicon, label string) *labelWords {
 }
 
 // labelID interns a label for the Relate memo key: shared-table labels use
-// their table ID, others get worker-local IDs offset past the table.
+// their (non-negative) table ID, others get negative worker-local IDs. The
+// sign split keeps the two ID spaces disjoint however many labels either
+// side holds, which is what lets a verdict key whose halves are both
+// non-negative be safely looked up in the cross-run Warm cache — such keys
+// can only mean a pair of table labels, identical across runs.
 func (s *Semantics) labelID(label string) int32 {
 	if s.shared != nil {
 		if id, ok := s.shared.ids[label]; ok {
@@ -244,10 +254,7 @@ func (s *Semantics) labelID(label string) int32 {
 	if id, ok := s.ids[label]; ok {
 		return id
 	}
-	id := int32(len(s.ids))
-	if s.shared != nil {
-		id += int32(len(s.shared.ids))
-	}
+	id := -1 - int32(len(s.ids))
 	s.ids[label] = id
 	return id
 }
@@ -320,16 +327,47 @@ func (s *Semantics) Relate(a, b string) Rel {
 	if s.noMemo {
 		return s.relate(a, b)
 	}
-	key := uint64(uint32(s.labelID(a)))<<32 | uint64(uint32(s.labelID(b)))
+	ia, ib := s.labelID(a), s.labelID(b)
+	key := uint64(uint32(ia))<<32 | uint64(uint32(ib))
 	if r, ok := s.memo[key]; ok {
 		return r
 	}
+	if r, ok := s.old[key]; ok {
+		s.memoStore(key, r) // promote: steadily hot pairs survive rotation
+		return r
+	}
+	// Both labels from the shared table of a warm handle: the verdict may
+	// already be known from an earlier run (or a sibling worker). This is
+	// the only locking touch on the hot path, and the overlay above bounds
+	// it to once per distinct pair per worker per run.
+	if s.warm != nil && ia >= 0 && ib >= 0 {
+		if r, ok := s.warm.verdict(key); ok {
+			s.memoStore(key, r)
+			return r
+		}
+		r := s.relate(a, b)
+		s.warm.storeVerdict(key, r)
+		s.memoStore(key, r)
+		return r
+	}
 	r := s.relate(a, b)
-	if len(s.memo) >= relMemoLimit {
-		clear(s.memo)
+	s.memoStore(key, r)
+	return r
+}
+
+// memoStore records a verdict in the per-Semantics overlay under a
+// two-generation bound: when the current generation reaches half of
+// relMemoLimit it becomes the old generation (dropping the previous one)
+// and a fresh map starts. Entries re-referenced within a generation are
+// promoted by Relate, so — unlike the historical wholesale clear — a warm
+// working set survives arbitrarily long runs while memory stays capped at
+// relMemoLimit entries across both generations.
+func (s *Semantics) memoStore(key uint64, r Rel) {
+	if len(s.memo) >= relMemoLimit/2 {
+		s.old = s.memo
+		s.memo = make(map[uint64]Rel)
 	}
 	s.memo[key] = r
-	return r
 }
 
 // relate is the unmemoized Definition 1 evaluation.

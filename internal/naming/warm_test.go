@@ -1,0 +1,79 @@
+package naming
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// TestWarmLabelCapBound: under an adversarial stream of distinct labels the
+// intern table must respect its cap — the two-generation rotation evicts,
+// the population never exceeds labelCap, and analyses interned moments ago
+// (the current generation) are still served.
+func TestWarmLabelCapBound(t *testing.T) {
+	const cap = 64
+	w := NewWarm(nil, cap, 0)
+	for batch := 0; batch < 50; batch++ {
+		labels := make([]string, 0, 16)
+		for i := 0; i < 16; i++ {
+			labels = append(labels, fmt.Sprintf("adversary %d-%d", batch, i))
+		}
+		if a := w.Analysis(labels); a == nil {
+			t.Fatal("nil analysis")
+		}
+		if st := w.Stats(); st.LabelsInterned > cap {
+			t.Fatalf("batch %d: %d labels interned, cap is %d", batch, st.LabelsInterned, cap)
+		}
+	}
+	st := w.Stats()
+	if st.LabelsEvicted == 0 {
+		t.Fatalf("800 distinct labels through a cap of %d evicted nothing: %+v", cap, st)
+	}
+	if st.LabelMisses != 800 {
+		t.Errorf("LabelMisses = %d, want 800 (every label distinct)", st.LabelMisses)
+	}
+
+	// Repeats of the most recent batch are hits, and hit entries survive
+	// the next rotation (promotion keeps steadily referenced labels warm).
+	last := []string{"adversary 49-0", "adversary 49-15"}
+	w.Analysis(last)
+	if st := w.Stats(); st.LabelHits == 0 {
+		t.Errorf("repeat of current-generation labels missed: %+v", st)
+	}
+}
+
+// TestWarmTableBound: the generic two-generation table behind the
+// group/isolated/node caches never exceeds its cap and promotes
+// old-generation hits across a rotation.
+func TestWarmTableBound(t *testing.T) {
+	tab := warmTable[int]{cap: 8}
+	for i := 0; i < 100; i++ {
+		tab.store("k"+strconv.Itoa(i), i)
+		if s := tab.size(); s > 8 {
+			t.Fatalf("after %d stores the table holds %d entries, cap is 8", i+1, s)
+		}
+	}
+	// The newest entry is always resident.
+	if v, ok := tab.lookup("k99"); !ok || v != 99 {
+		t.Fatalf("lookup(k99) = %d, %v", v, ok)
+	}
+	// A promoted entry survives the rotation that evicts its unreferenced
+	// contemporaries: touch one old-generation key, rotate, probe again.
+	tab.reset()
+	for i := 0; i < 4; i++ { // fill cur to cap/2: next store rotates
+		tab.store("old"+strconv.Itoa(i), i)
+	}
+	tab.store("rotor", -1) // rotates: old0..old3 -> old generation
+	if _, ok := tab.lookup("old1"); !ok {
+		t.Fatal("old-generation entry unreachable after rotation")
+	}
+	for i := 0; i < 4; i++ { // force another rotation
+		tab.store("new"+strconv.Itoa(i), i)
+	}
+	if _, ok := tab.lookup("old1"); !ok {
+		t.Fatal("promoted entry evicted by the next rotation")
+	}
+	if _, ok := tab.lookup("old2"); ok {
+		t.Fatal("unreferenced old-generation entry survived two rotations")
+	}
+}

@@ -155,12 +155,69 @@ type snapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
 	Inflight      int64                       `json:"inflight"`
 	Cache         cacheSnapshot               `json:"cache"`
+	Warm          warmSnapshot                `json:"warm"`
 	Batch         batchSnapshot               `json:"batch"`
 	Persistence   persistenceSnapshot         `json:"persistence"`
 	Sessions      sessionsSnapshot            `json:"sessions"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
 	Stages        map[string]stageSnapshot    `json:"stages"`
 	Naming        map[string]int              `json:"naming"`
+}
+
+// warmSnapshot is the cross-run warm-cache section of /metrics: the
+// Integrator-owned caches (label interning, Relate verdicts, matcher block
+// keys and pair verdicts, solve/node derivations, source-label memo)
+// aggregated over every cached Integrator. HitRate is total hits over
+// total probes across every layer — the single number qiload's -warm
+// column reports.
+type warmSnapshot struct {
+	Integrators     int     `json:"integrators"`
+	LabelHits       uint64  `json:"labelHits"`
+	LabelMisses     uint64  `json:"labelMisses"`
+	VerdictHits     uint64  `json:"verdictHits"`
+	VerdictMisses   uint64  `json:"verdictMisses"`
+	SolveHits       uint64  `json:"solveHits"`
+	SolveMisses     uint64  `json:"solveMisses"`
+	NodeHits        uint64  `json:"nodeHits"`
+	NodeMisses      uint64  `json:"nodeMisses"`
+	MatchKeyHits    uint64  `json:"matchKeyHits"`
+	MatchKeyMisses  uint64  `json:"matchKeyMisses"`
+	MatchPairHits   uint64  `json:"matchPairHits"`
+	MatchPairMisses uint64  `json:"matchPairMisses"`
+	SourceHits      uint64  `json:"sourceHits"`
+	SourceMisses    uint64  `json:"sourceMisses"`
+	EpochResets     uint64  `json:"epochResets"`
+	HitRate         float64 `json:"hitRate"`
+}
+
+// warmSnapshotOf aggregates the warm statistics of the given integrators.
+func warmSnapshotOf(stats []qilabel.WarmStats) warmSnapshot {
+	w := warmSnapshot{Integrators: len(stats)}
+	for _, st := range stats {
+		w.LabelHits += st.LabelHits
+		w.LabelMisses += st.LabelMisses
+		w.VerdictHits += st.VerdictHits
+		w.VerdictMisses += st.VerdictMisses
+		w.SolveHits += st.SolveHits
+		w.SolveMisses += st.SolveMisses
+		w.NodeHits += st.NodeHits
+		w.NodeMisses += st.NodeMisses
+		w.MatchKeyHits += st.MatchKeyHits
+		w.MatchKeyMisses += st.MatchKeyMisses
+		w.MatchPairHits += st.MatchPairHits
+		w.MatchPairMisses += st.MatchPairMisses
+		w.SourceHits += st.SourceHits
+		w.SourceMisses += st.SourceMisses
+		w.EpochResets += st.EpochResets
+	}
+	hits := w.LabelHits + w.VerdictHits + w.SolveHits + w.NodeHits +
+		w.MatchKeyHits + w.MatchPairHits + w.SourceHits
+	misses := w.LabelMisses + w.VerdictMisses + w.SolveMisses + w.NodeMisses +
+		w.MatchKeyMisses + w.MatchPairMisses + w.SourceMisses
+	if hits+misses > 0 {
+		w.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return w
 }
 
 type cacheSnapshot struct {

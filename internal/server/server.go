@@ -582,7 +582,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize, s.sessions.active()))
+	snap := s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize, s.sessions.active())
+	snap.Warm = warmSnapshotOf(s.warmStats())
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// warmStats snapshots the warm-cache counters of every cached Integrator.
+func (s *Server) warmStats() []qilabel.WarmStats {
+	s.igMu.Lock()
+	defer s.igMu.Unlock()
+	stats := make([]qilabel.WarmStats, 0, len(s.igMap))
+	for _, ig := range s.igMap {
+		stats = append(stats, ig.WarmStats())
+	}
+	return stats
 }
 
 // ---- plumbing -----------------------------------------------------------

@@ -125,6 +125,22 @@ type Config struct {
 	// Fingerprint and CacheKey.
 	Observer func(StageEvent)
 
+	// DisableWarmCache turns off the Integrator's cross-run warm caches
+	// (interned label analyses, shared Relate verdicts, per-source label
+	// memo). The caches store pure functions of the inputs and the lexicon,
+	// so they never change a result — only how fast repeated label sets
+	// integrate — and the setting is excluded from Fingerprint and
+	// CacheKey like the other execution-only knobs.
+	DisableWarmCache bool
+	// WarmLabelCap bounds the distinct label analyses a warm Integrator
+	// interns across runs (0: a default of 65536 labels). Excluded from
+	// Fingerprint and CacheKey.
+	WarmLabelCap int
+	// WarmVerdictCap bounds the Relate verdicts the warm Integrator shares
+	// across runs (0: a default of ~1M entries). Excluded from Fingerprint
+	// and CacheKey.
+	WarmVerdictCap int
+
 	// referenceKernels routes the pipeline through the unoptimized
 	// reference kernels: the matcher's exhaustive pairwise pass instead of
 	// the block-key index, and unmemoized Relate without the shared
@@ -146,6 +162,12 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("qilabel: negative Parallelism %d", c.Parallelism)
+	}
+	if c.WarmLabelCap < 0 {
+		return fmt.Errorf("qilabel: negative WarmLabelCap %d", c.WarmLabelCap)
+	}
+	if c.WarmVerdictCap < 0 {
+		return fmt.Errorf("qilabel: negative WarmVerdictCap %d", c.WarmVerdictCap)
 	}
 	return nil
 }
@@ -217,6 +239,24 @@ func WithParallelism(n int) Option {
 // WithObserver installs a per-stage observer; see StageEvent.
 func WithObserver(fn func(StageEvent)) Option {
 	return func(c *Config) { c.Observer = fn }
+}
+
+// WithoutWarmCache disables the Integrator's cross-run warm caches; see
+// Config.DisableWarmCache. Never affects the resulting labeling.
+func WithoutWarmCache() Option {
+	return func(c *Config) { c.DisableWarmCache = true }
+}
+
+// WithWarmLabelCap bounds the warm Integrator's interned label analyses;
+// see Config.WarmLabelCap.
+func WithWarmLabelCap(n int) Option {
+	return func(c *Config) { c.WarmLabelCap = n }
+}
+
+// WithWarmVerdictCap bounds the warm Integrator's shared Relate verdicts;
+// see Config.WarmVerdictCap.
+func WithWarmVerdictCap(n int) Option {
+	return func(c *Config) { c.WarmVerdictCap = n }
 }
 
 // Result is the outcome of integrating and labeling a set of interfaces.

@@ -62,6 +62,101 @@ func BenchmarkScale(b *testing.B) {
 	}
 }
 
+// BenchmarkWarm contrasts a cache-cold Integrator (DisableWarmCache: every
+// iteration recomputes the full pipeline, scratch pools still warm) with a
+// warm one repeatedly integrating the same corpus — the cross-run cache
+// curves behind BENCH_pr8.json. Warm output is byte-identical to cold
+// (TestWarmEquivalence); only the time differs.
+func BenchmarkWarm(b *testing.B) {
+	for _, size := range []string{"small", "medium", "mega"} {
+		sources, cfg := scaleCorpus(b, size)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"cold", true}, {"warm", false}} {
+			b.Run(size+"/"+mode.name, func(b *testing.B) {
+				c := cfg
+				c.DisableWarmCache = mode.disable
+				ig, err := NewIntegrator(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ig.Integrate(sources); err != nil {
+					b.Fatal(err) // prime scratch pools (and, if enabled, the caches)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ig.Integrate(sources); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// warmOverlapCorpora builds two medium corpora drawn from one synthesized
+// vocabulary (seed-shifted, lexicon pinned), so alternating them exercises
+// the content-signature fallback of the warm caches — substantial label
+// overlap, but no run is an exact repeat of the previous one.
+func warmOverlapCorpora(tb testing.TB) ([]*Tree, []*Tree, Config) {
+	tb.Helper()
+	cfgA, err := synth.Preset("medium")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	treesA, lex, err := synth.GenerateWithLexicon(cfgA)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Seed += 7
+	cfgB.SynthVocab = false
+	cfgB.Lexicon = lex
+	treesB, _, err := synth.GenerateWithLexicon(cfgB)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return treesA, treesB, Config{Lexicon: lex, UseMatcher: true}
+}
+
+// BenchmarkWarmOverlap alternates the two overlapping medium corpora on
+// one Integrator: the whole-corpus replay keys hit every other run, and
+// the label/verdict/solve caches absorb the shared vocabulary in between.
+func BenchmarkWarmOverlap(b *testing.B) {
+	treesA, treesB, cfg := warmOverlapCorpora(b)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cold", true}, {"warm", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := cfg
+			c.DisableWarmCache = mode.disable
+			ig, err := NewIntegrator(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range [][]*Tree{treesA, treesB} {
+				if _, err := ig.Integrate(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := treesA
+				if i%2 == 1 {
+					s = treesB
+				}
+				if _, err := ig.Integrate(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestScaleSerialParallel pins byte-identical output between the serial
 // and the maximally parallel pipeline on every preset of the scaling
 // matrix, including the mega corpus.
