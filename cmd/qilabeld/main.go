@@ -5,6 +5,7 @@
 //	         [-cache 128] [-cache-file path] [-cache-checkpoint 5m]
 //	         [-max-batch 64] [-max-body 8388608] [-lexicon extra.json]
 //	         [-session-ttl 15m] [-max-sessions 64] [-pprof addr]
+//	         [-discover-threshold 0.4] [-discover-ttl 15m] [-max-domains 64]
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain-timeout before closing the listener.
@@ -50,6 +51,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max items per /v1/integrate/batch request")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle eviction horizon for /v1/sessions sessions (negative = never expire)")
 	maxSessions := flag.Int("max-sessions", 64, "max concurrently live /v1/sessions sessions; creating past the cap evicts the least-recently-used")
+	discoverThr := flag.Float64("discover-threshold", 0, "similarity level at which /v1/ingest forms share a domain, in (0,1] (0 = built-in default); shapes the partition only, never cache keys")
+	discoverTTL := flag.Duration("discover-ttl", 15*time.Minute, "idle eviction horizon for discovered domains (negative = never expire)")
+	maxDomains := flag.Int("max-domains", 64, "max concurrently live discovered domains; discovering past the cap evicts the least-recently-used")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -65,6 +69,10 @@ func main() {
 		MaxBatchItems:  *maxBatch,
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
+
+		DiscoverThreshold: *discoverThr,
+		DiscoverTTL:       *discoverTTL,
+		MaxDomains:        *maxDomains,
 	}
 	if *lexFile != "" {
 		data, err := os.ReadFile(*lexFile)

@@ -1,0 +1,158 @@
+package discover
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"qilabel"
+	"qilabel/internal/schema"
+	"qilabel/internal/synth"
+)
+
+// TestDiscoveryInvariants is the metamorphic headline: over many seeded
+// multi-domain streams,
+//
+//	(a) stream-order permutation yields the same domain partition and
+//	    byte-identical per-domain integrated trees,
+//	(b) the engine's per-domain integration equals a batch Integrate of
+//	    the same member sources (tree, labels and cache key), and
+//	(c) re-ingesting every already-seen form is a no-op on every domain.
+//
+// HypernymLift stays at zero: the blueprint guarantees cross-domain
+// synonym-closure disjointness, not hypernym disjointness, so lifting
+// could legitimately bridge ground-truth domains (see synth.MultiDomain).
+func TestDiscoveryInvariants(t *testing.T) {
+	const seeds = 100
+	for seed := uint64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			stream, lex, err := synth.Stream(synth.StreamConfig{
+				Seed:    seed,
+				Domains: 2,
+				Base: synth.Config{
+					Sources:  3,
+					Concepts: 5,
+					Perturb: synth.Perturb{
+						SynonymSwap: 0.4,
+						NumberVary:  0.3,
+						Noise:       0.3,
+						Dropout:     0.2,
+						Reorder:     0.3,
+					},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			newEngine := func() *Engine {
+				ig, err := qilabel.NewIntegrator(qilabel.Config{Lexicon: lex, UseMatcher: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := New(Config{Integrator: ig})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			ingestAll := func(e *Engine, forms []synth.StreamForm) {
+				for _, f := range forms {
+					if _, err := e.Ingest(context.Background(), f.Tree); err != nil {
+						t.Fatalf("ingest %s: %v", f.Tree.Interface, err)
+					}
+				}
+			}
+			// snapshot captures everything the invariants quantify over:
+			// the partition plus each domain's integrated tree hash, cache
+			// key and assigned labels.
+			type domainState struct {
+				Forms  []string
+				Tree   string
+				Key    string
+				Labels map[string]string
+			}
+			snapshot := func(e *Engine) map[string]domainState {
+				out := make(map[string]domainState)
+				for id, hashes := range e.Partition() {
+					res, key, _, err := e.Result(id)
+					if err != nil {
+						t.Fatalf("Result(%s): %v", id, err)
+					}
+					out[id] = domainState{
+						Forms:  hashes,
+						Tree:   res.Tree.CanonicalHash(),
+						Key:    key,
+						Labels: res.Labels,
+					}
+				}
+				return out
+			}
+
+			// (a) Permutation invariance: the seeded arrival order, its
+			// reverse, and a rotation must converge to identical state.
+			e1 := newEngine()
+			ingestAll(e1, stream)
+			base := snapshot(e1)
+
+			reversed := make([]synth.StreamForm, len(stream))
+			for i, f := range stream {
+				reversed[len(stream)-1-i] = f
+			}
+			rotated := append(append([]synth.StreamForm(nil), stream[len(stream)/2:]...),
+				stream[:len(stream)/2]...)
+			for name, perm := range map[string][]synth.StreamForm{
+				"reversed": reversed, "rotated": rotated,
+			} {
+				e2 := newEngine()
+				ingestAll(e2, perm)
+				if got := snapshot(e2); !reflect.DeepEqual(got, base) {
+					t.Fatalf("%s order diverged:\n base %+v\n got  %+v", name, base, got)
+				}
+			}
+
+			// (b) Ingest ≡ batch Integrate of the member sources.
+			byHash := make(map[string]*schema.Tree, len(stream))
+			for _, f := range stream {
+				byHash[f.Tree.CanonicalHash()] = f.Tree
+			}
+			for id, st := range base {
+				members := make([]*schema.Tree, len(st.Forms))
+				for i, h := range st.Forms {
+					members[i] = byHash[h]
+				}
+				opts := []qilabel.Option{qilabel.WithLexicon(lex), qilabel.WithMatcher()}
+				batch, err := qilabel.Integrate(members, opts...)
+				if err != nil {
+					t.Fatalf("batch Integrate of domain %s: %v", id, err)
+				}
+				if got := batch.Tree.CanonicalHash(); got != st.Tree {
+					t.Fatalf("domain %s: ingested tree %s != batch tree %s", id, st.Tree, got)
+				}
+				if !reflect.DeepEqual(batch.Labels, st.Labels) {
+					t.Fatalf("domain %s: labels diverged\n ingest %v\n batch  %v", id, st.Labels, batch.Labels)
+				}
+				if key := qilabel.CacheKey(members, opts...); key != st.Key {
+					t.Fatalf("domain %s: session key %s != batch key %s", id, st.Key, key)
+				}
+			}
+
+			// (c) Re-ingesting every seen form is a no-op everywhere.
+			for _, f := range stream {
+				a, err := e1.Ingest(context.Background(), f.Tree)
+				if err != nil {
+					t.Fatalf("re-ingest %s: %v", f.Tree.Interface, err)
+				}
+				if !a.Duplicate {
+					t.Fatalf("re-ingest %s not reported duplicate: %+v", f.Tree.Interface, a)
+				}
+			}
+			if got := snapshot(e1); !reflect.DeepEqual(got, base) {
+				t.Fatalf("re-ingest mutated state:\n base %+v\n got  %+v", base, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"qilabel/internal/schema"
+)
+
+// IngestOptions configures one online-discovery replay: a shuffled
+// multi-domain form stream is POSTed to /v1/ingest one tree at a time
+// from concurrent workers, a fraction of the forms are re-ingested to
+// exercise the duplicate no-op path, and the run ends by listing the
+// discovered domains and translating against one of them.
+type IngestOptions struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Forms is the arrival stream (already shuffled; see synth.Stream).
+	Forms []*schema.Tree
+	// ExpectedDomains, when nonzero, is the ground-truth domain count the
+	// discovered partition should converge to; the report records whether
+	// it did.
+	ExpectedDomains int
+	// DuplicateRatio is the probability a form is immediately re-ingested
+	// after its first ingest (default 0.25).
+	DuplicateRatio float64
+	// Concurrency is the number of concurrent workers. Default 4.
+	Concurrency int
+	// Seed drives the deterministic duplicate draws.
+	Seed uint64
+	// Timeout bounds each HTTP request. Default 30s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject one bound to an
+	// in-process handler).
+	Client *http.Client
+}
+
+// IngestReport is the outcome of one discovery replay.
+type IngestReport struct {
+	// Forms counts first-time ingests issued; Duplicates the deliberate
+	// re-ingests the duplicate path absorbed.
+	Forms      int `json:"forms"`
+	Duplicates int `json:"duplicates"`
+	// Errors counts failed requests of any kind.
+	Errors int `json:"errors"`
+	// Domains is the live domain count the final listing reported, and
+	// DomainsMatch whether it equals ExpectedDomains (true when no
+	// expectation was set).
+	Domains      int  `json:"domains"`
+	DomainsMatch bool `json:"domainsMatch"`
+	// TranslateOK reports that a /v1/translate against a discovered
+	// domain's key succeeded end to end.
+	TranslateOK bool `json:"translateOk"`
+	// Latency summarizes per-ingest round-trip times.
+	Latency Percentiles `json:"latency"`
+	// Duration is the wall-clock time of the whole run.
+	Duration time.Duration `json:"duration"`
+
+	// Server-side /metrics discovery counter deltas across the run.
+	ServerIngested   uint64 `json:"serverIngested"`
+	ServerDuplicates uint64 `json:"serverDuplicates"`
+	ServerCreated    uint64 `json:"serverCreated"`
+	ServerMerged     uint64 `json:"serverMerged"`
+	ServerEvicted    uint64 `json:"serverEvicted"`
+}
+
+func (o IngestOptions) withDefaults() IngestOptions {
+	if o.DuplicateRatio == 0 {
+		o.DuplicateRatio = 0.25
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 4
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+func (o IngestOptions) validate() error {
+	if len(o.Forms) == 0 {
+		return errors.New("loadgen: empty form stream")
+	}
+	if o.BaseURL == "" {
+		return errors.New("loadgen: BaseURL required")
+	}
+	return nil
+}
+
+// RunIngest executes the discovery replay and returns the report. Only
+// setup problems fail the call; per-request failures are counted.
+func RunIngest(ctx context.Context, opts IngestOptions) (*IngestReport, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	before, err := scrapeMetrics(ctx, opts.Client, opts.BaseURL, opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics before run: %w", err)
+	}
+
+	var (
+		mu     sync.Mutex
+		report IngestReport
+		lats   []time.Duration
+	)
+	sopts := SessionOptions{BaseURL: opts.BaseURL, Timeout: opts.Timeout, Client: opts.Client}
+	ingestOne := func(form *schema.Tree) bool {
+		var out struct {
+			Assignments []struct {
+				Domain string `json:"domain"`
+				Key    string `json:"key"`
+			} `json:"assignments"`
+		}
+		t0 := time.Now()
+		err := doSessionJSON(ctx, sopts, http.MethodPost, "/v1/ingest",
+			map[string]any{"source": form}, &out)
+		lat := time.Since(t0)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil || len(out.Assignments) != 1 || out.Assignments[0].Domain == "" {
+			report.Errors++
+			return false
+		}
+		lats = append(lats, lat)
+		return true
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				form := opts.Forms[i]
+				if !ingestOne(form) {
+					continue
+				}
+				mu.Lock()
+				report.Forms++
+				mu.Unlock()
+				r := subRNG(opts.Seed, i, "ingest-dup")
+				if r.float() < opts.DuplicateRatio && ingestOne(form) {
+					mu.Lock()
+					report.Duplicates++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range opts.Forms {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	report.Duration = time.Since(start)
+	report.Latency = percentiles(lats)
+
+	// The converged partition, and one end-to-end translate against it.
+	var listing struct {
+		Domains []struct {
+			Key      string `json:"key"`
+			Clusters []struct {
+				Name string `json:"name"`
+			} `json:"clusters"`
+		} `json:"domains"`
+	}
+	if err := doSessionJSON(ctx, sopts, http.MethodGet, "/v1/domains/discovered", nil, &listing); err != nil {
+		report.Errors++
+	} else {
+		report.Domains = len(listing.Domains)
+		report.DomainsMatch = opts.ExpectedDomains == 0 || report.Domains == opts.ExpectedDomains
+		if len(listing.Domains) > 0 && len(listing.Domains[0].Clusters) > 0 {
+			d := listing.Domains[0]
+			var tr struct {
+				SubQueries []struct{} `json:"subQueries"`
+			}
+			err := doSessionJSON(ctx, sopts, http.MethodPost, "/v1/translate",
+				map[string]any{"key": d.Key, "query": map[string]string{d.Clusters[0].Name: "1"}}, &tr)
+			report.TranslateOK = err == nil && len(tr.SubQueries) > 0
+			if err != nil {
+				report.Errors++
+			}
+		}
+	}
+
+	after, err := scrapeMetrics(ctx, opts.Client, opts.BaseURL, opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading /metrics after run: %w", err)
+	}
+	report.ServerIngested = after.Discovery.Ingested - before.Discovery.Ingested
+	report.ServerDuplicates = after.Discovery.Duplicates - before.Discovery.Duplicates
+	report.ServerCreated = after.Discovery.Created - before.Discovery.Created
+	report.ServerMerged = after.Discovery.Merged - before.Discovery.Merged
+	report.ServerEvicted = after.Discovery.Evicted - before.Discovery.Evicted
+	return &report, nil
+}
+
+// discoveryCounters is the /metrics discovery section the replay diffs.
+type discoveryCounters struct {
+	Ingested   uint64 `json:"ingested"`
+	Duplicates uint64 `json:"duplicates"`
+	Created    uint64 `json:"created"`
+	Merged     uint64 `json:"merged"`
+	Evicted    uint64 `json:"evicted"`
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+
+	"qilabel/internal/schema"
+	"qilabel/internal/synth"
+)
+
+// TestRunIngestAgainstServer: the discovery replay streams a shuffled
+// two-domain corpus through /v1/ingest with zero request errors, the
+// final listing recovers the ground-truth partition, a translate against
+// a discovered domain succeeds, and the server-side discovery counters
+// account for every request the client issued.
+func TestRunIngestAgainstServer(t *testing.T) {
+	stream, _, err := synth.Stream(synth.StreamConfig{
+		Seed:    21,
+		Domains: 2,
+		Base: synth.Config{
+			Sources: 4, Concepts: 5,
+			Perturb: synth.Perturb{SynonymSwap: 0.4, Noise: 0.3, Reorder: 0.3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forms := make([]*schema.Tree, len(stream))
+	for i, f := range stream {
+		forms[i] = f.Tree
+	}
+
+	rep, err := RunIngest(context.Background(), IngestOptions{
+		BaseURL:         startServer(t),
+		Forms:           forms,
+		ExpectedDomains: 2,
+		DuplicateRatio:  0.5,
+		Concurrency:     3,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("replay reported %d errors: %+v", rep.Errors, rep)
+	}
+	if rep.Forms != len(forms) {
+		t.Errorf("ingested %d forms, want %d", rep.Forms, len(forms))
+	}
+	if rep.Domains != 2 || !rep.DomainsMatch {
+		t.Errorf("discovered %d domains (match=%v), want the 2 ground-truth domains", rep.Domains, rep.DomainsMatch)
+	}
+	if !rep.TranslateOK {
+		t.Error("translate against a discovered domain failed")
+	}
+	// Every ingest the client issued reached the engine; every deliberate
+	// re-ingest was absorbed as a duplicate; nothing was evicted.
+	if want := uint64(rep.Forms + rep.Duplicates); rep.ServerIngested != want {
+		t.Errorf("server ingested %d, want %d", rep.ServerIngested, want)
+	}
+	if rep.ServerDuplicates != uint64(rep.Duplicates) {
+		t.Errorf("server duplicates %d, want %d", rep.ServerDuplicates, rep.Duplicates)
+	}
+	if rep.ServerCreated+rep.ServerMerged < 2 {
+		t.Errorf("server created=%d merged=%d, want at least the 2 domains accounted for", rep.ServerCreated, rep.ServerMerged)
+	}
+	if rep.ServerEvicted != 0 {
+		t.Errorf("server evicted %d domains mid-run", rep.ServerEvicted)
+	}
+	if rep.Latency.P50 == 0 {
+		t.Errorf("latency percentiles missing: %+v", rep)
+	}
+}
+
+// TestRunIngestValidation: setup problems fail the call outright.
+func TestRunIngestValidation(t *testing.T) {
+	if _, err := RunIngest(context.Background(), IngestOptions{BaseURL: "http://x"}); err == nil {
+		t.Error("empty form stream accepted")
+	}
+	if _, err := RunIngest(context.Background(), IngestOptions{
+		Forms: []*schema.Tree{schema.NewTree("a", schema.NewField("Title", ""))},
+	}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+}

@@ -450,9 +450,10 @@ func (w warmCounters) misses() uint64 {
 // metricsCounters is the subset of the server's /metrics reply the load
 // generators diff across a run.
 type metricsCounters struct {
-	Cache    cacheCounters   `json:"cache"`
-	Warm     warmCounters    `json:"warm"`
-	Sessions sessionCounters `json:"sessions"`
+	Cache     cacheCounters     `json:"cache"`
+	Warm      warmCounters      `json:"warm"`
+	Sessions  sessionCounters   `json:"sessions"`
+	Discovery discoveryCounters `json:"discovery"`
 }
 
 func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string, timeout time.Duration) (metricsCounters, error) {

@@ -159,6 +159,7 @@ type snapshot struct {
 	Batch         batchSnapshot               `json:"batch"`
 	Persistence   persistenceSnapshot         `json:"persistence"`
 	Sessions      sessionsSnapshot            `json:"sessions"`
+	Discovery     discoverySnapshot           `json:"discovery"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
 	Stages        map[string]stageSnapshot    `json:"stages"`
 	Naming        map[string]int              `json:"naming"`
@@ -251,6 +252,20 @@ type sessionsSnapshot struct {
 	DeltaOps             map[string]int64 `json:"deltaOps"`
 	ReusedComponents     int64            `json:"reusedComponents"`
 	RecomputedComponents int64            `json:"recomputedComponents"`
+}
+
+// discoverySnapshot is the online domain-discovery section of /metrics:
+// the live domain/form gauges, lifecycle counters and the effective
+// similarity threshold the partition runs under.
+type discoverySnapshot struct {
+	Active     int     `json:"active"`
+	Forms      int     `json:"forms"`
+	Ingested   uint64  `json:"ingested"`
+	Duplicates uint64  `json:"duplicates"`
+	Created    uint64  `json:"created"`
+	Merged     uint64  `json:"merged"`
+	Evicted    uint64  `json:"evicted"`
+	Threshold  float64 `json:"threshold"`
 }
 
 func (m *metrics) snapshot(cacheEntries, cacheCap, sessionsActive int) snapshot {

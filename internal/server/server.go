@@ -59,6 +59,7 @@ import (
 
 	"qilabel"
 	"qilabel/internal/dataset"
+	"qilabel/internal/discover"
 )
 
 // Config tunes the service. The zero value selects production defaults.
@@ -95,6 +96,18 @@ type Config struct {
 	// MaxSessions caps concurrently live sessions; creating past the cap
 	// evicts the least-recently-used session. Zero: 64.
 	MaxSessions int
+	// DiscoverThreshold is the /v1/ingest similarity level at which two
+	// forms belong to the same discovered domain, in (0, 1]. Zero:
+	// discover.DefaultThreshold. It shapes the partition only and never
+	// enters integration cache keys.
+	DiscoverThreshold float64
+	// DiscoverTTL evicts discovered domains no form has joined for this
+	// long (ingests into the domain reset the clock). Zero: 15 minutes.
+	// Negative: domains never expire (they still fall to MaxDomains).
+	DiscoverTTL time.Duration
+	// MaxDomains caps live discovered domains; discovering past the cap
+	// evicts the least-recently-used domain. Zero: 64.
+	MaxDomains int
 }
 
 // Server is the HTTP labeling service. Create with New; it is safe for
@@ -118,6 +131,14 @@ type Server struct {
 	// and fingerprint are paid once per combination instead of per request.
 	igMu  sync.Mutex
 	igMap map[requestOptions]*qilabel.Integrator
+
+	// discovery is the online domain-discovery engine (see ingest.go),
+	// created lazily on the first /v1/ingest so servers that never ingest
+	// pay nothing. discoverNow, when set before first use, overrides the
+	// engine's clock (tests).
+	discoverMu  sync.Mutex
+	discovery   *discover.Engine
+	discoverNow func() time.Time
 
 	// testHookSlow, when set, runs inside every integration worker before
 	// the pipeline; tests use it to hold requests in flight.
@@ -153,6 +174,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 64
 	}
+	switch {
+	case cfg.DiscoverTTL == 0:
+		cfg.DiscoverTTL = 15 * time.Minute
+	case cfg.DiscoverTTL < 0:
+		cfg.DiscoverTTL = 0 // no expiry
+	}
+	if cfg.MaxDomains <= 0 {
+		cfg.MaxDomains = 64
+	}
 	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInflight),
@@ -176,6 +206,9 @@ func New(cfg Config) *Server {
 	s.route("PUT /v1/sessions/{id}/sources/{hash}", "/v1/sessions/{id}/sources/{hash}", s.handleSessionUpdate)
 	s.route("DELETE /v1/sessions/{id}/sources/{hash}", "/v1/sessions/{id}/sources/{hash}", s.handleSessionRemove)
 	s.route("GET /v1/sessions/{id}/result", "/v1/sessions/{id}/result", s.handleSessionResult)
+	s.route("POST /v1/ingest", "/v1/ingest", s.handleIngest)
+	s.route("GET /v1/domains/discovered", "/v1/domains/discovered", s.handleDiscovered)
+	s.route("GET /v1/domains/discovered/{id}", "/v1/domains/discovered/{id}", s.handleDiscoveredDomain)
 	s.route("GET /v1/domains", "/v1/domains", s.handleDomains)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
@@ -584,6 +617,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize, s.sessions.active())
 	snap.Warm = warmSnapshotOf(s.warmStats())
+	snap.Discovery = discoverySnapshotOf(s.discoveryIfStarted(), s.cfg.DiscoverThreshold)
 	writeJSON(w, http.StatusOK, snap)
 }
 

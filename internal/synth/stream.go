@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+
+	"qilabel/internal/lexicon"
+	"qilabel/internal/schema"
+)
+
+// StreamConfig describes a multi-domain ingestion stream: Domains
+// synthesized domains sharing one lexicon, flattened into a seeded
+// shuffled arrival order. It is the ground-truth generator for the online
+// domain-discovery engine: the discovered partition should recover the
+// per-domain groupings exactly.
+type StreamConfig struct {
+	// Seed drives every draw: the domain blueprints, the per-source
+	// perturbations and the arrival order.
+	Seed uint64
+	// Domains is the number of distinct domains (default 2).
+	Domains int
+	// Base shapes each domain (sources, concepts, perturbations …).
+	// Base.Seed is ignored — Seed above is the stream's only seed — and
+	// Base.Domain becomes the prefix of the per-domain names.
+	Base Config
+}
+
+// StreamForm is one arrival of the shuffled stream, tagged with its
+// ground-truth origin.
+type StreamForm struct {
+	// Domain is the ground-truth domain index in [0, Domains); Index the
+	// source index within that domain.
+	Domain int
+	Index  int
+	Tree   *schema.Tree
+}
+
+// MultiDomain generates the per-domain corpora. All domains are drawn
+// from ONE blueprint pass over Domains × Base.Concepts concepts, so the
+// pairwise synonym-closure disjointness the blueprint guarantees holds
+// across domains too: no label perturbation can make a form of one
+// domain synonymous with a form of another. (Hypernym links are not
+// covered by that guarantee — keep Base.Perturb.HypernymLift at zero
+// when asserting exact partition recovery.) The returned lexicon is the
+// shared vocabulary; under Base.SynthVocab it is the extended clone the
+// pipeline must run with.
+func MultiDomain(cfg StreamConfig) ([][]*schema.Tree, *lexicon.Lexicon, error) {
+	base := cfg.Base.withDefaults()
+	base.Seed = cfg.Seed
+	if cfg.Domains == 0 {
+		cfg.Domains = 2
+	}
+	if cfg.Domains < 1 {
+		return nil, nil, fmt.Errorf("synth: Domains = %d, need at least 1", cfg.Domains)
+	}
+	combined := base
+	combined.Concepts = base.Concepts * cfg.Domains
+	if err := combined.validate(); err != nil {
+		return nil, nil, err
+	}
+	concepts, lex, err := blueprint(combined)
+	if err != nil {
+		return nil, nil, err
+	}
+	domains := make([][]*schema.Tree, cfg.Domains)
+	for d := range domains {
+		dcfg := base
+		dcfg.Lexicon = lex
+		dcfg.Domain = fmt.Sprintf("%s-d%d", base.Domain, d+1)
+		slice := concepts[d*base.Concepts : (d+1)*base.Concepts]
+		labels := groupLabels(dcfg, slice)
+		trees := make([]*schema.Tree, dcfg.Sources)
+		for i := range trees {
+			trees[i] = genSource(dcfg, slice, labels, i)
+			if err := trees[i].Validate(); err != nil {
+				return nil, nil, fmt.Errorf("synth: generated invalid tree %d/%d: %w", d, i, err)
+			}
+		}
+		domains[d] = trees
+	}
+	return domains, lex, nil
+}
+
+// Stream is MultiDomain flattened into the seeded shuffled arrival order:
+// every source of every domain appears exactly once, interleaved by a
+// Fisher–Yates pass on its own sub-stream.
+func Stream(cfg StreamConfig) ([]StreamForm, *lexicon.Lexicon, error) {
+	domains, lex, err := MultiDomain(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var forms []StreamForm
+	for d, trees := range domains {
+		for i, t := range trees {
+			forms = append(forms, StreamForm{Domain: d, Index: i, Tree: t})
+		}
+	}
+	shuffle(subRNG(cfg.Seed, 0, "stream-order"), forms)
+	return forms, lex, nil
+}

@@ -1,0 +1,115 @@
+package synth
+
+import "testing"
+
+func streamConfig(seed uint64) StreamConfig {
+	return StreamConfig{
+		Seed:    seed,
+		Domains: 3,
+		Base: Config{
+			Sources: 4, Concepts: 4,
+			Perturb: Perturb{SynonymSwap: 0.4, Noise: 0.3, Reorder: 0.3},
+		},
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, _, err := Stream(streamConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Stream(streamConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Domain != b[i].Domain || a[i].Index != b[i].Index {
+			t.Fatalf("arrival %d tagged (%d,%d) vs (%d,%d)", i, a[i].Domain, a[i].Index, b[i].Domain, b[i].Index)
+		}
+		if a[i].Tree.CanonicalHash() != b[i].Tree.CanonicalHash() {
+			t.Fatalf("arrival %d differs byte-wise between identical-seed streams", i)
+		}
+	}
+}
+
+func TestStreamCoversEverySource(t *testing.T) {
+	cfg := streamConfig(3)
+	forms, _, err := Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Domains * cfg.Base.Sources; len(forms) != want {
+		t.Fatalf("%d arrivals, want %d", len(forms), want)
+	}
+	seen := map[[2]int]bool{}
+	shuffled := false
+	prev := -1
+	for i, f := range forms {
+		if f.Domain < 0 || f.Domain >= cfg.Domains || f.Index < 0 || f.Index >= cfg.Base.Sources {
+			t.Fatalf("arrival %d has out-of-range tag (%d,%d)", i, f.Domain, f.Index)
+		}
+		key := [2]int{f.Domain, f.Index}
+		if seen[key] {
+			t.Fatalf("source (%d,%d) appears twice", f.Domain, f.Index)
+		}
+		seen[key] = true
+		flat := f.Domain*cfg.Base.Sources + f.Index
+		if flat < prev {
+			shuffled = true
+		}
+		prev = flat
+	}
+	if !shuffled {
+		t.Error("arrival order is the unshuffled domain-major order")
+	}
+}
+
+func TestMultiDomainSourcesStayApart(t *testing.T) {
+	// The single blueprint pass guarantees cross-domain synonym-closure
+	// disjointness, so no two domains may share a leaf label even after
+	// synonym perturbation.
+	domains, _, err := MultiDomain(streamConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[string]int{}
+	for d, trees := range domains {
+		for _, tree := range trees {
+			for _, n := range tree.Root.DescendantLeaves() {
+				if n.Label == "" {
+					continue
+				}
+				if prev, ok := owner[n.Label]; ok && prev != d {
+					t.Fatalf("label %q appears in domains %d and %d", n.Label, prev, d)
+				}
+				owner[n.Label] = d
+			}
+		}
+	}
+	if len(owner) == 0 {
+		t.Fatal("no labeled leaves generated")
+	}
+}
+
+func TestMultiDomainRejectsNegativeDomains(t *testing.T) {
+	cfg := streamConfig(1)
+	cfg.Domains = -1
+	if _, _, err := MultiDomain(cfg); err == nil {
+		t.Error("negative Domains accepted")
+	}
+}
+
+func TestStreamDefaultsToTwoDomains(t *testing.T) {
+	cfg := streamConfig(1)
+	cfg.Domains = 0
+	forms, _, err := Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * cfg.Base.Sources; len(forms) != want {
+		t.Fatalf("%d arrivals with defaulted Domains, want %d", len(forms), want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"qilabel/internal/cluster"
 	"qilabel/internal/dataset"
 	"qilabel/internal/delta"
 	"qilabel/internal/extract"
@@ -269,6 +270,11 @@ type Result struct {
 	// received ("" when the algorithm could not assign one).
 	Labels map[string]string
 
+	// Mapping exposes the §2.1 cluster mapping the integration is built
+	// on: one cluster per integrated field, each holding the member leaf
+	// every source interface supplies for it. The discovery service's
+	// domain listings are derived from it.
+	Mapping *cluster.Mapping
 	// Merge exposes the structural integration (groups, isolated
 	// clusters, per-cluster leaves).
 	Merge *merge.Result
@@ -330,12 +336,13 @@ func (c Config) deltaConfig() delta.Config {
 // resultFromOutcome wraps one pipeline run's outcome as the public Result.
 func resultFromOutcome(out *delta.Outcome, lex *lexicon.Lexicon) *Result {
 	res := &Result{
-		Tree:   out.Merge.Tree,
-		Class:  out.Naming.Class,
-		Labels: make(map[string]string, len(out.Mapping.Clusters)),
-		Merge:  out.Merge,
-		Naming: out.Naming,
-		lex:    lex,
+		Tree:    out.Merge.Tree,
+		Class:   out.Naming.Class,
+		Labels:  make(map[string]string, len(out.Mapping.Clusters)),
+		Mapping: out.Mapping,
+		Merge:   out.Merge,
+		Naming:  out.Naming,
+		lex:     lex,
 	}
 	for _, c := range out.Mapping.Clusters {
 		if leaf := out.Merge.LeafOf[c.Name]; leaf != nil {
