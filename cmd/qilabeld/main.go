@@ -4,8 +4,16 @@
 //	qilabeld [-addr :8080] [-max-inflight N] [-timeout 30s] [-parallelism N]
 //	         [-cache 128] [-cache-file path] [-cache-checkpoint 5m]
 //	         [-max-batch 64] [-max-body 8388608] [-lexicon extra.json]
+//	         [-lexicon-dir dir] [-max-lexicons N] [-lexicon-reload 30s]
 //	         [-session-ttl 15m] [-max-sessions 64] [-pprof addr]
 //	         [-discover-threshold 0.4] [-discover-ttl 15m] [-max-domains 64]
+//
+// -lexicon-dir serves every *.json lexicon in the directory as a
+// selectable version (requests pick one with the "lexicon" option or the
+// X-Lexicon header; file base names are aliases, content addresses are
+// canonical). -lexicon-reload hot-reloads the directory on a ticker; a
+// request naming an unknown alias also triggers a lazy rescan, so
+// dropping a file in is enough — no restart, no signal.
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain-timeout before closing the listener.
@@ -56,6 +64,9 @@ func main() {
 	maxDomains := flag.Int("max-domains", 64, "max concurrently live discovered domains; discovering past the cap evicts the least-recently-used")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	lexFile := flag.String("lexicon", "", "extend the built-in lexicon with entries from this JSON file")
+	lexDir := flag.String("lexicon-dir", "", "serve every *.json lexicon (artifact or plain) in this directory as a selectable version; file base names become aliases")
+	maxLexicons := flag.Int("max-lexicons", 0, "max lexicon versions held at once (0 = registry default); alias-pinned versions never evict")
+	lexReload := flag.Duration("lexicon-reload", 0, "rescan -lexicon-dir at this interval for hot reload (0 disables; requests also rescan lazily on an unknown alias)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	flag.Parse()
@@ -73,6 +84,8 @@ func main() {
 		DiscoverThreshold: *discoverThr,
 		DiscoverTTL:       *discoverTTL,
 		MaxDomains:        *maxDomains,
+
+		MaxLexicons: *maxLexicons,
 	}
 	if *lexFile != "" {
 		data, err := os.ReadFile(*lexFile)
@@ -89,6 +102,16 @@ func main() {
 	}
 
 	srv := server.New(cfg)
+	if *lexDir != "" {
+		switch n, err := srv.LoadLexiconDir(*lexDir); {
+		case err != nil:
+			// Never fatal: the good files loaded; the bad ones are named.
+			log.Printf("qilabeld: lexicon dir: %v", err)
+			fallthrough
+		case n > 0:
+			log.Printf("qilabeld: serving %d lexicon version(s) from %s", n, *lexDir)
+		}
+	}
 	if *cacheFile != "" {
 		switch n, err := srv.LoadCache(*cacheFile); {
 		case err != nil:
@@ -120,6 +143,23 @@ func main() {
 			}
 		}()
 		defer dbg.Close()
+	}
+
+	if *lexDir != "" && *lexReload > 0 {
+		go func() {
+			tick := time.NewTicker(*lexReload)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if _, err := srv.ReloadLexicons(); err != nil {
+						log.Printf("qilabeld: lexicon reload: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
 	}
 
 	if *cacheFile != "" && *checkpoint > 0 {

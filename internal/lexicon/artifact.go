@@ -1,0 +1,203 @@
+package lexicon
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Content-addressed lexicon artifacts: an immutable, versioned wire form
+// whose identity is a SHA-256 over a *canonical* serialization of the
+// knowledge base. Two lexicons holding the same lexical facts — whatever
+// order AddSynonyms/AddHypernym/AddIrregular ran in, however many times an
+// entry was repeated — produce byte-identical canonical forms and
+// therefore the same version ID. That makes the ID a sound cache
+// namespace: every consumer keyed by it (the shared result LRU via
+// Config.Fingerprint, warm caches, snapshots, sessions) is guaranteed that
+// equal IDs mean equal query semantics.
+//
+// The artifact wraps the canonical bytes in a small envelope carrying the
+// format tag and the ID, so a stored artifact is self-verifying:
+// DecodeArtifact recomputes the address from the decoded facts and rejects
+// any mismatch (tampering, truncation, a hand-edited file) without
+// panicking.
+
+// ArtifactFormat tags the artifact envelope; bumped only on incompatible
+// changes to the canonical serialization (which would re-address every
+// lexicon).
+const ArtifactFormat = "qilabel-lexicon/1"
+
+// artifactEnvelope is the wire form of a content-addressed lexicon.
+type artifactEnvelope struct {
+	Format string `json:"format"`
+	// ID is the hex SHA-256 of the canonical lexicon serialization.
+	ID string `json:"id"`
+	// Lexicon is the canonical fileFormat payload.
+	Lexicon json.RawMessage `json:"lexicon"`
+}
+
+// canonicalFile renders the knowledge base as a canonical fileFormat:
+// synsets sorted and deduplicated, hypernym edges sorted and deduplicated,
+// irregulars as a map (encoding/json sorts object keys), and the
+// relation-free vocabulary sorted. The result is a pure function of the
+// lexical facts — insertion order and repetition are erased.
+func (l *Lexicon) canonicalFile() fileFormat {
+	f := fileFormat{}
+
+	sets := l.Synsets() // sorted members, sets ordered lexicographically
+	seenSet := ""
+	for _, set := range sets {
+		key := fmt.Sprintf("%q", set)
+		if key == seenSet {
+			continue // Synsets() ordering places duplicates adjacently
+		}
+		seenSet = key
+		f.Synsets = append(f.Synsets, set)
+	}
+
+	edges := l.HypernymEdges() // sorted by parent then child
+	var prev [2]string
+	for i, e := range edges {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		f.Hypernyms = append(f.Hypernyms, e)
+	}
+
+	if len(l.irregular) > 0 {
+		f.Irregular = make(map[string]string, len(l.irregular))
+		for s, lemma := range l.irregular {
+			f.Irregular[s] = lemma
+		}
+	}
+
+	// Words carrying no relations still matter for lemmatization; mirror
+	// EncodeJSON's reduction so round-tripping is a fixed point.
+	inRelations := make(map[string]bool)
+	for _, set := range l.members {
+		for _, w := range set {
+			inRelations[w] = true
+		}
+	}
+	for c, ps := range l.hypernyms {
+		inRelations[c] = true
+		for _, p := range ps {
+			inRelations[p] = true
+		}
+	}
+	for _, lemma := range l.irregular {
+		inRelations[lemma] = true
+	}
+	for w := range l.vocab {
+		if !inRelations[w] {
+			f.Vocabulary = append(f.Vocabulary, w)
+		}
+	}
+	sort.Strings(f.Vocabulary)
+	return f
+}
+
+// Canonical returns the canonical serialization of the knowledge base:
+// deterministic bytes independent of construction order and entry
+// repetition. Hashing these bytes yields the lexicon's content address.
+func (l *Lexicon) Canonical() []byte {
+	data, err := json.Marshal(l.canonicalFile())
+	if err != nil {
+		// fileFormat holds only strings, slices and a string map; Marshal
+		// cannot fail on it.
+		panic("lexicon: canonical serialization failed: " + err.Error())
+	}
+	return data
+}
+
+// VersionID returns the lexicon's content address: the hex SHA-256 of its
+// canonical serialization. Equal lexical facts always yield equal IDs, in
+// any process, whatever order the facts were added in. The ID is computed
+// once and cached; any mutation invalidates it alongside the compiled
+// query tables.
+func (l *Lexicon) VersionID() string {
+	if v := l.ver.Load(); v != nil {
+		return *v
+	}
+	sum := sha256.Sum256(l.Canonical())
+	id := hex.EncodeToString(sum[:])
+	l.ver.Store(&id)
+	return id
+}
+
+// ShortID returns the first 12 hex digits of VersionID — the display form
+// used in fingerprints, logs and metrics labels. Collisions within one
+// registry are re-checked against the full ID wherever it matters.
+func (l *Lexicon) ShortID() string { return l.VersionID()[:12] }
+
+// EncodeArtifact serializes the lexicon as a self-verifying
+// content-addressed artifact. The payload is the canonical serialization,
+// so encoding the same facts always produces identical bytes (and the
+// embedded ID always equals VersionID).
+func (l *Lexicon) EncodeArtifact() ([]byte, error) {
+	env := artifactEnvelope{
+		Format:  ArtifactFormat,
+		ID:      l.VersionID(),
+		Lexicon: l.Canonical(),
+	}
+	return json.MarshalIndent(env, "", "  ")
+}
+
+// DecodeArtifact parses an artifact written by EncodeArtifact, verifies
+// its content address and returns the lexicon with its version ID. Every
+// failure — malformed JSON, a foreign format tag, an ID that does not
+// match the decoded facts — is an error, never a panic; a verified decode
+// re-encodes byte-identically (the fuzz target pins the fixed point).
+func DecodeArtifact(data []byte) (*Lexicon, string, error) {
+	var env artifactEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, "", fmt.Errorf("lexicon: decoding artifact: %w", err)
+	}
+	if env.Format != ArtifactFormat {
+		return nil, "", fmt.Errorf("lexicon: artifact format %q, want %q", env.Format, ArtifactFormat)
+	}
+	if len(env.Lexicon) == 0 {
+		return nil, "", fmt.Errorf("lexicon: artifact carries no lexicon payload")
+	}
+	l, err := DecodeJSON(env.Lexicon)
+	if err != nil {
+		return nil, "", err
+	}
+	id := l.VersionID()
+	if env.ID != id {
+		return nil, "", fmt.Errorf("lexicon: artifact declares id %s but its content addresses to %s", env.ID, id)
+	}
+	return l, id, nil
+}
+
+// DecodeAny parses either a content-addressed artifact (EncodeArtifact
+// envelope, address verified) or a plain lexicon JSON file (EncodeJSON /
+// hand-written fileFormat) and returns the lexicon with its computed
+// version ID. The registry's directory loader accepts both, so operators
+// can drop raw vocabulary files next to exported artifacts.
+func DecodeAny(data []byte) (*Lexicon, string, error) {
+	if looksLikeArtifact(data) {
+		return DecodeArtifact(data)
+	}
+	l, err := DecodeJSON(data)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, l.VersionID(), nil
+}
+
+// looksLikeArtifact sniffs for the envelope's format tag without a full
+// parse, so plain lexicon files never pay artifact verification errors.
+func looksLikeArtifact(data []byte) bool {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return bytes.Contains(data, []byte(ArtifactFormat))
+	}
+	return probe.Format != ""
+}

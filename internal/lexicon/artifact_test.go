@@ -1,0 +1,199 @@
+package lexicon
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyLexicon builds a small knowledge base used across the artifact
+// tests; the variadic extras let a test perturb it.
+func tinyLexicon(extra ...func(*Lexicon)) *Lexicon {
+	l := New()
+	l.AddSynonyms("car", "auto", "automobile")
+	l.AddSynonyms("trip", "journey")
+	l.AddHypernym("vehicle", "car")
+	l.AddIrregular("children", "child")
+	for _, f := range extra {
+		f(l)
+	}
+	return l
+}
+
+// TestCanonicalOrderIndependence pins the content-address soundness
+// property: the same lexical facts, added in any order and with any
+// repetition, serialize to byte-identical canonical forms and hash to
+// the same version ID.
+func TestCanonicalOrderIndependence(t *testing.T) {
+	a := tinyLexicon()
+
+	b := New()
+	b.AddIrregular("children", "child")
+	b.AddSynonyms("trip", "journey")
+	b.AddHypernym("vehicle", "car")
+	b.AddSynonyms("car", "auto", "automobile")
+	b.AddSynonyms("journey", "trip")    // repeated set, different member order
+	b.AddHypernym("vehicle", "car")     // repeated edge
+	b.AddIrregular("children", "child") // repeated irregular
+	b.AddSynonyms("automobile", "auto", "car")
+
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.VersionID() != b.VersionID() {
+		t.Fatalf("version IDs differ: %s vs %s", a.VersionID(), b.VersionID())
+	}
+	if len(a.VersionID()) != 64 {
+		t.Fatalf("version ID is not a hex SHA-256: %q", a.VersionID())
+	}
+	if a.ShortID() != a.VersionID()[:12] {
+		t.Fatalf("ShortID %q is not the ID prefix", a.ShortID())
+	}
+}
+
+// TestVersionIDTracksMutation: the cached address is invalidated by any
+// mutation, and a fact that changes the knowledge base changes the ID.
+func TestVersionIDTracksMutation(t *testing.T) {
+	l := tinyLexicon()
+	before := l.VersionID()
+	if again := l.VersionID(); again != before {
+		t.Fatalf("repeated VersionID changed without mutation: %s vs %s", again, before)
+	}
+	l.AddSynonyms("flight", "voyage")
+	after := l.VersionID()
+	if after == before {
+		t.Fatal("adding a synset did not change the version ID")
+	}
+}
+
+// TestArtifactRoundTrip: encode -> decode -> encode is a fixed point,
+// and the embedded address verifies.
+func TestArtifactRoundTrip(t *testing.T) {
+	l := tinyLexicon()
+	data, err := l.EncodeArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, id, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != l.VersionID() {
+		t.Fatalf("decoded id %s, want %s", id, l.VersionID())
+	}
+	again, err := got.EncodeArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encode is not byte-identical:\n%s\n%s", data, again)
+	}
+	if !got.Synonym("car", "auto") || !got.Hypernym("vehicle", "automobile") {
+		t.Fatal("decoded lexicon lost facts")
+	}
+	if got.BaseForm("children") != "child" {
+		t.Fatal("decoded lexicon lost the irregular inflection")
+	}
+}
+
+// TestDecodeArtifactRejects pins the failure modes: every malformed or
+// tampered artifact is an error (never a panic), with a message naming
+// the problem.
+func TestDecodeArtifactRejects(t *testing.T) {
+	good, err := tinyLexicon().EncodeArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(good, []byte(`"car"`), []byte(`"cat"`), 1)
+	wrongFormat := bytes.Replace(good, []byte(ArtifactFormat), []byte("other-format/9"), 1)
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"malformed json", []byte(`{"format": "` + ArtifactFormat + `",`), "decoding artifact"},
+		{"foreign format", wrongFormat, "artifact format"},
+		{"no payload", []byte(`{"format":"` + ArtifactFormat + `","id":"00"}`), "no lexicon payload"},
+		{"tampered content", tampered, "addresses to"},
+		{"empty input", nil, "decoding artifact"},
+	}
+	for _, tc := range cases {
+		l, id, err := DecodeArtifact(tc.data)
+		if err == nil {
+			t.Errorf("%s: decoded successfully (id %s)", tc.name, id)
+			continue
+		}
+		if l != nil || id != "" {
+			t.Errorf("%s: failed decode still returned a lexicon", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeAny accepts both the artifact envelope and a plain lexicon
+// file, computing the same address for the same facts either way.
+func TestDecodeAny(t *testing.T) {
+	l := tinyLexicon()
+	plain, err := l.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := l.EncodeArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fromPlain, idPlain, err := DecodeAny(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromArtifact, idArtifact, err := DecodeAny(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idPlain != idArtifact || idPlain != l.VersionID() {
+		t.Fatalf("ids diverge: plain=%s artifact=%s want=%s", idPlain, idArtifact, l.VersionID())
+	}
+	if !fromPlain.Synonym("car", "automobile") || !fromArtifact.Synonym("car", "automobile") {
+		t.Fatal("decoded lexicons lost facts")
+	}
+}
+
+// TestCanonicalMirrorsEncodeJSON: the canonical form must reduce the
+// vocabulary exactly like EncodeJSON (relation-free words only), so a
+// plain-file round trip through DecodeAny re-addresses identically.
+func TestCanonicalMirrorsEncodeJSON(t *testing.T) {
+	l := tinyLexicon(func(l *Lexicon) {
+		// A relation-free vocabulary word: listed under "vocabulary" by
+		// both serializations, exactly once.
+		l.AddWord("lonely")
+	})
+	var canon, plain fileFormat
+	if err := json.Unmarshal(l.Canonical(), &canon); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := l.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(enc, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(canon.Vocabulary) != len(plain.Vocabulary) {
+		t.Fatalf("vocabulary reductions differ: canonical %v vs plain %v",
+			canon.Vocabulary, plain.Vocabulary)
+	}
+
+	round, err := DecodeJSON(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round.VersionID() != l.VersionID() {
+		t.Fatalf("plain-file round trip changed the address: %s vs %s",
+			round.VersionID(), l.VersionID())
+	}
+}

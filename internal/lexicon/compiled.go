@@ -20,9 +20,11 @@ type compiled struct {
 	hyper []map[int32]struct{}
 }
 
-// invalidate drops the compiled tables; called by every mutating method.
+// invalidate drops the compiled tables and the cached content address;
+// called by every mutating method.
 func (l *Lexicon) invalidate() {
 	l.frozen.Store(nil)
+	l.ver.Store(nil)
 	l.gen.Add(1)
 }
 

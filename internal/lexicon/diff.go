@@ -1,0 +1,150 @@
+package lexicon
+
+import "sort"
+
+// DiffReport itemizes the factual differences between two lexicon
+// versions, in canonical order. It powers the server's upgrade report: an
+// operator about to move an alias from one version to another sees
+// exactly which synsets, hypernym edges, irregular inflections and
+// vocabulary words the move adds or removes — the facts that change
+// labeling verdicts and therefore invalidate caches keyed by the old
+// version.
+type DiffReport struct {
+	// SynsetsAdded/Removed list whole synonym sets present in only one
+	// version (sorted members, sets ordered lexicographically).
+	SynsetsAdded   [][]string `json:"synsetsAdded,omitempty"`
+	SynsetsRemoved [][]string `json:"synsetsRemoved,omitempty"`
+	// HypernymsAdded/Removed list direct (parent, child) edges present in
+	// only one version, sorted by parent then child.
+	HypernymsAdded   [][2]string `json:"hypernymsAdded,omitempty"`
+	HypernymsRemoved [][2]string `json:"hypernymsRemoved,omitempty"`
+	// IrregularsAdded/Removed list surface→lemma mappings present in only
+	// one version (a remapped surface appears in both).
+	IrregularsAdded   map[string]string `json:"irregularsAdded,omitempty"`
+	IrregularsRemoved map[string]string `json:"irregularsRemoved,omitempty"`
+	// VocabularyAdded/Removed list words known to only one version, sorted.
+	VocabularyAdded   []string `json:"vocabularyAdded,omitempty"`
+	VocabularyRemoved []string `json:"vocabularyRemoved,omitempty"`
+}
+
+// Identical reports an empty diff: the two versions hold the same facts
+// (and therefore share a content address).
+func (d DiffReport) Identical() bool {
+	return len(d.SynsetsAdded) == 0 && len(d.SynsetsRemoved) == 0 &&
+		len(d.HypernymsAdded) == 0 && len(d.HypernymsRemoved) == 0 &&
+		len(d.IrregularsAdded) == 0 && len(d.IrregularsRemoved) == 0 &&
+		len(d.VocabularyAdded) == 0 && len(d.VocabularyRemoved) == 0
+}
+
+// Diff compares two lexicons fact by fact and reports what moving from
+// old to new adds and removes. Both inputs are read-only; the comparison
+// runs on the canonical enumerations, so insertion order never leaks into
+// the report.
+func Diff(from, to *Lexicon) DiffReport {
+	var d DiffReport
+
+	oldSets := setKeys(from.Synsets())
+	newSets := setKeys(to.Synsets())
+	for key, set := range newSets {
+		if _, ok := oldSets[key]; !ok {
+			d.SynsetsAdded = append(d.SynsetsAdded, set)
+		}
+	}
+	for key, set := range oldSets {
+		if _, ok := newSets[key]; !ok {
+			d.SynsetsRemoved = append(d.SynsetsRemoved, set)
+		}
+	}
+	sortSets(d.SynsetsAdded)
+	sortSets(d.SynsetsRemoved)
+
+	oldEdges := edgeSet(from.HypernymEdges())
+	newEdges := edgeSet(to.HypernymEdges())
+	for e := range newEdges {
+		if !oldEdges[e] {
+			d.HypernymsAdded = append(d.HypernymsAdded, e)
+		}
+	}
+	for e := range oldEdges {
+		if !newEdges[e] {
+			d.HypernymsRemoved = append(d.HypernymsRemoved, e)
+		}
+	}
+	sortEdges(d.HypernymsAdded)
+	sortEdges(d.HypernymsRemoved)
+
+	for s, lemma := range to.irregular {
+		if from.irregular[s] != lemma {
+			if d.IrregularsAdded == nil {
+				d.IrregularsAdded = make(map[string]string)
+			}
+			d.IrregularsAdded[s] = lemma
+		}
+	}
+	for s, lemma := range from.irregular {
+		if to.irregular[s] != lemma {
+			if d.IrregularsRemoved == nil {
+				d.IrregularsRemoved = make(map[string]string)
+			}
+			d.IrregularsRemoved[s] = lemma
+		}
+	}
+
+	for w := range to.vocab {
+		if !from.vocab[w] {
+			d.VocabularyAdded = append(d.VocabularyAdded, w)
+		}
+	}
+	for w := range from.vocab {
+		if !to.vocab[w] {
+			d.VocabularyRemoved = append(d.VocabularyRemoved, w)
+		}
+	}
+	sort.Strings(d.VocabularyAdded)
+	sort.Strings(d.VocabularyRemoved)
+	return d
+}
+
+// setKeys indexes canonical synsets by a joined-member key. Members never
+// contain "\x00" (they are trimmed lower-cased words), so the join is
+// injective.
+func setKeys(sets [][]string) map[string][]string {
+	m := make(map[string][]string, len(sets))
+	for _, set := range sets {
+		key := ""
+		for _, w := range set {
+			key += w + "\x00"
+		}
+		m[key] = set
+	}
+	return m
+}
+
+func edgeSet(edges [][2]string) map[[2]string]bool {
+	m := make(map[[2]string]bool, len(edges))
+	for _, e := range edges {
+		m[e] = true
+	}
+	return m
+}
+
+func sortSets(sets [][]string) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func sortEdges(edges [][2]string) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+}

@@ -1,0 +1,61 @@
+package lexicon
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a := tinyLexicon()
+	// Same facts built in a different order: the diff must be empty.
+	b := New()
+	b.AddIrregular("children", "child")
+	b.AddHypernym("vehicle", "car")
+	b.AddSynonyms("journey", "trip")
+	b.AddSynonyms("automobile", "car", "auto")
+
+	d := Diff(a, b)
+	if !d.Identical() {
+		t.Fatalf("equal facts diff non-empty: %+v", d)
+	}
+}
+
+func TestDiffReportsEveryFactKind(t *testing.T) {
+	from := tinyLexicon()
+	to := tinyLexicon(func(l *Lexicon) {
+		l.AddSynonyms("flight", "voyage")
+		l.AddHypernym("movement", "trip")
+		l.AddIrregular("geese", "goose")
+		l.AddWord("standalone")
+	})
+
+	d := Diff(from, to)
+	if d.Identical() {
+		t.Fatal("diff of different versions is empty")
+	}
+	if !reflect.DeepEqual(d.SynsetsAdded, [][]string{{"flight", "voyage"}}) {
+		t.Fatalf("SynsetsAdded = %v", d.SynsetsAdded)
+	}
+	if !reflect.DeepEqual(d.HypernymsAdded, [][2]string{{"movement", "trip"}}) {
+		t.Fatalf("HypernymsAdded = %v", d.HypernymsAdded)
+	}
+	if d.IrregularsAdded["geese"] != "goose" {
+		t.Fatalf("IrregularsAdded = %v", d.IrregularsAdded)
+	}
+	// Every word the new facts introduced counts as vocabulary growth.
+	wantVocab := []string{"flight", "goose", "movement", "standalone", "voyage"}
+	if !reflect.DeepEqual(d.VocabularyAdded, wantVocab) {
+		t.Fatalf("VocabularyAdded = %v, want %v", d.VocabularyAdded, wantVocab)
+	}
+	if len(d.SynsetsRemoved)+len(d.HypernymsRemoved)+len(d.IrregularsRemoved)+len(d.VocabularyRemoved) != 0 {
+		t.Fatalf("pure additions reported removals: %+v", d)
+	}
+
+	// The reverse direction mirrors adds into removals.
+	rd := Diff(to, from)
+	if !reflect.DeepEqual(rd.SynsetsRemoved, d.SynsetsAdded) ||
+		!reflect.DeepEqual(rd.HypernymsRemoved, d.HypernymsAdded) ||
+		!reflect.DeepEqual(rd.VocabularyRemoved, d.VocabularyAdded) {
+		t.Fatalf("reverse diff is not the mirror: %+v", rd)
+	}
+}

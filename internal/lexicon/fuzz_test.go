@@ -1,0 +1,67 @@
+package lexicon
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLexiconArtifact holds the artifact codec to its two contracts under
+// arbitrary input:
+//
+//   - a successful decode is a fixed point: re-encoding the decoded
+//     lexicon reproduces the canonical artifact byte for byte, addressed
+//     by the same version ID, decodable again;
+//   - every other input is rejected with an error — malformed JSON,
+//     foreign envelopes, tampered payloads — and never a panic.
+//
+// The committed corpus (testdata/fuzz/FuzzLexiconArtifact) seeds both
+// sides: valid artifacts, a plain lexicon file, and truncated/tampered
+// variants. CI runs this target in its fuzz-smoke step.
+func FuzzLexiconArtifact(f *testing.F) {
+	base := tinyLexicon()
+	if art, err := base.EncodeArtifact(); err == nil {
+		f.Add(art)
+		f.Add(art[:len(art)/2])                                      // truncated
+		f.Add(bytes.Replace(art, []byte(`"car"`), []byte(`"x"`), 1)) // tampered
+	}
+	if plain, err := base.EncodeJSON(); err == nil {
+		f.Add(plain)
+	}
+	f.Add([]byte(`{"format":"` + ArtifactFormat + `","id":"","lexicon":{}}`))
+	f.Add([]byte(`{"synsets":[["a","b"]]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, id, err := DecodeAny(data) // must never panic
+		if err != nil {
+			return
+		}
+		if l == nil || len(id) != 64 {
+			t.Fatalf("successful decode returned lex=%v id=%q", l, id)
+		}
+		if got := l.VersionID(); got != id {
+			t.Fatalf("decoded lexicon addresses to %s, DecodeAny reported %s", got, id)
+		}
+
+		// Fixed point: encode -> decode -> encode is stable.
+		enc, err := l.EncodeArtifact()
+		if err != nil {
+			t.Fatalf("re-encoding a decoded lexicon: %v", err)
+		}
+		l2, id2, err := DecodeArtifact(enc)
+		if err != nil {
+			t.Fatalf("decoding our own artifact: %v", err)
+		}
+		if id2 != id {
+			t.Fatalf("round trip changed the address: %s -> %s", id, id2)
+		}
+		enc2, err := l2.EncodeArtifact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("artifact encoding is not a fixed point:\n%s\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package lexicon_test
+
+import (
+	"testing"
+
+	"qilabel/internal/lexicon"
+	"qilabel/internal/synth"
+)
+
+// Golden content addresses. These pin the canonical serialization across
+// processes, platforms and refactors: if any of them changes, every
+// persisted cache snapshot, artifact file and cross-tenant cache key in
+// the wild is silently re-addressed — bump ArtifactFormat instead of
+// updating these without one.
+//
+// The two variants are the embedded default extended with synthesized
+// vocabulary (synth.SynthVocab), i.e. exactly what the mega-domain
+// corpus generator runs on, so the goldens also pin the generator's
+// seeded determinism.
+const (
+	goldenDefaultID  = "ae6a3e530496ec6100dbfbd32699e97d3523cc6fb5cab3c218f12b157d7b7992"
+	goldenVariant7ID = "b287f1131aac1af9e220a28997e76b109ae247a019017f2364b53f66c2349ffc"
+	goldenVariant8ID = "70ccdcf36cafc8d3c8d96a44043b367075d845f18100bd7e3ca1ab65dfa2ca37"
+)
+
+// goldenVariant derives a SynthVocab lexicon deterministically from a
+// seed: the default knowledge base plus pseudo-word synsets.
+func goldenVariant(t *testing.T, seed uint64) *lexicon.Lexicon {
+	t.Helper()
+	_, lex, err := synth.GenerateWithLexicon(synth.Config{
+		Seed:       seed,
+		Concepts:   150, // beyond the real vocabulary: forces synthesis
+		SynthVocab: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lex == lexicon.Default() {
+		t.Fatal("SynthVocab corpus returned the unextended default lexicon")
+	}
+	return lex
+}
+
+func TestContentAddressGolden(t *testing.T) {
+	if id := lexicon.Default().VersionID(); id != goldenDefaultID {
+		t.Errorf("default lexicon addresses to\n  %s\nwant committed golden\n  %s", id, goldenDefaultID)
+	}
+	if id := goldenVariant(t, 7).VersionID(); id != goldenVariant7ID {
+		t.Errorf("seed-7 variant addresses to\n  %s\nwant committed golden\n  %s", id, goldenVariant7ID)
+	}
+	if id := goldenVariant(t, 8).VersionID(); id != goldenVariant8ID {
+		t.Errorf("seed-8 variant addresses to\n  %s\nwant committed golden\n  %s", id, goldenVariant8ID)
+	}
+
+	// Recomputing in-process must be stable too (the cached address and a
+	// fresh clone agree).
+	clone := lexicon.Default().Clone()
+	if id := clone.VersionID(); id != goldenDefaultID {
+		t.Errorf("cloned default re-addresses to %s", id)
+	}
+}

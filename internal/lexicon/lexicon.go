@@ -59,6 +59,9 @@ type Lexicon struct {
 	// keyed by lexical facts snapshot it and drop their contents when it
 	// moves — the epoch mechanism behind naming.Warm.
 	gen atomic.Uint64
+	// ver caches the content address (VersionID) of the current facts;
+	// nil until computed, reset to nil by every mutation.
+	ver atomic.Pointer[string]
 }
 
 // New returns an empty lexicon ready to be populated with AddSynonyms,

@@ -49,6 +49,11 @@ type Options struct {
 	// Matcher asks the server to recompute clusters from labels and
 	// instances rather than trusting the corpus annotations.
 	Matcher bool
+	// Lexicon names the lexicon version (registered ID or alias) every
+	// request selects; empty replays against the server default. Distinct
+	// versions namespace the result cache, so replaying one corpus under
+	// two lexicons measures the cross-version miss/hit split.
+	Lexicon string
 	// Seed drives the deterministic op schedule.
 	Seed uint64
 	// Timeout bounds each HTTP request. Default 30s.
@@ -277,7 +282,8 @@ type integrateBody struct {
 }
 
 type requestOpts struct {
-	Matcher bool `json:"matcher,omitempty"`
+	Matcher bool   `json:"matcher,omitempty"`
+	Lexicon string `json:"lexicon,omitempty"`
 }
 
 type batchBody struct {
@@ -331,7 +337,7 @@ func (b *cancelBody) Close() error {
 func runSingle(ctx context.Context, opts Options, o op) opResult {
 	body := integrateBody{
 		Sources: opts.Corpus[o.indices[0]],
-		Options: requestOpts{Matcher: opts.Matcher},
+		Options: requestOpts{Matcher: opts.Matcher, Lexicon: opts.Lexicon},
 	}
 	resp, err := post(ctx, opts, "/v1/integrate", body)
 	if err != nil {
@@ -363,7 +369,7 @@ func runBatch(ctx context.Context, opts Options, o op) opResult {
 	for _, idx := range o.indices {
 		body.Items = append(body.Items, integrateBody{
 			Sources: opts.Corpus[idx],
-			Options: requestOpts{Matcher: opts.Matcher},
+			Options: requestOpts{Matcher: opts.Matcher, Lexicon: opts.Lexicon},
 		})
 	}
 	resp, err := post(ctx, opts, "/v1/integrate/batch", body)

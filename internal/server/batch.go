@@ -93,10 +93,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dupes := make(map[int][]int)  // first occurrence -> duplicate indices
 	distinct := make([]*batchPlan, 0, len(req.Items))
 	for i, item := range req.Items {
-		p := &batchPlan{index: i, domain: item.Domain, ropts: item.Options}
-		p.sources, p.err = resolveSources(item)
+		p := &batchPlan{index: i, domain: item.Domain}
+		// Each item resolves its own lexicon (the X-Lexicon header fills
+		// items that select none), so one batch can span tenants while
+		// every item keys — and coalesces — strictly within its version.
+		p.ropts, p.err = s.resolveLexicon(lexiconFromRequest(r, item.Options))
 		if p.err == nil {
-			if ig, igErr := s.integrator(item.Options); igErr != nil {
+			p.sources, p.err = resolveSources(item)
+		}
+		if p.err == nil {
+			if ig, igErr := s.integrator(p.ropts); igErr != nil {
 				p.err = &apiError{http.StatusBadRequest, codeBadRequest, igErr.Error()}
 			} else {
 				p.key = ig.CacheKey(p.sources)

@@ -75,6 +75,15 @@ func (c *lru) Put(key string, entry *cacheEntry) {
 	}
 }
 
+// Has reports whether the key is cached without touching recency — the
+// upgrade report probes many keys and must not reorder the LRU.
+func (c *lru) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -137,8 +137,10 @@ type apiError struct {
 // the batch fan-out (which already bounds its own parallelism) waits for
 // a slot instead.
 func (s *Server) integrateShared(ctx context.Context, key string, sources []*qilabel.Tree, domain string, ropts requestOptions, block bool) (integrateResponse, string, *apiError) {
+	lexLabel := lexiconLabel(ropts.Lexicon)
 	if e, hit := s.cache.Get(key); hit {
 		s.metrics.cacheHits.Add(1)
+		s.metrics.recordLexicon(lexLabel, statusHit)
 		resp := e.resp
 		resp.Cached = true
 		return resp, statusHit, nil
@@ -152,9 +154,11 @@ func (s *Server) integrateShared(ctx context.Context, key string, sources []*qil
 	f, leader := s.flights.join(key, s.cfg.RequestTimeout)
 	if leader {
 		s.metrics.cacheMisses.Add(1)
+		s.metrics.recordLexicon(lexLabel, statusComputed)
 		go s.runFlight(f, key, sources, domain, ropts, block)
 	} else {
 		s.metrics.coalesced.Add(1)
+		s.metrics.recordLexicon(lexLabel, statusCoalesced)
 	}
 
 	select {

@@ -40,16 +40,21 @@ import (
 // integration of the same sources is a warm hit whatever threshold
 // discovered the domain.
 
-// discoverEngine returns the server's discovery engine, creating it on
-// first use (the matcher-mode Integrator it runs on is shared with every
-// matcher request, so its warm caches serve both paths).
-func (s *Server) discoverEngine() (*discover.Engine, error) {
+// discoverEngine returns the discovery engine of one lexicon selection
+// (ropts.Lexicon, already resolved to a content address; "" = server
+// default), creating it on first use. Engines are per-lexicon because a
+// domain partition computed under one vocabulary is meaningless — and a
+// tenant-isolation leak — under another; the matcher-mode Integrator
+// each engine runs on is shared with that lexicon's matcher requests, so
+// warm caches still serve both paths.
+func (s *Server) discoverEngine(ropts requestOptions) (*discover.Engine, error) {
+	ropts = requestOptions{Matcher: true, Lexicon: ropts.Lexicon}
 	s.discoverMu.Lock()
 	defer s.discoverMu.Unlock()
-	if s.discovery != nil {
-		return s.discovery, nil
+	if e, ok := s.discovery[ropts.Lexicon]; ok {
+		return e, nil
 	}
-	ig, err := s.integrator(requestOptions{Matcher: true})
+	ig, err := s.integrator(ropts)
 	if err != nil {
 		return nil, err
 	}
@@ -63,16 +68,24 @@ func (s *Server) discoverEngine() (*discover.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.discovery = e
+	if s.discovery == nil {
+		s.discovery = make(map[string]*discover.Engine)
+	}
+	s.discovery[ropts.Lexicon] = e
 	return e, nil
 }
 
-// discoveryIfStarted returns the engine without creating one — the
-// /metrics path, which must not allocate state as a side effect.
-func (s *Server) discoveryIfStarted() *discover.Engine {
+// discoveryEngines returns every started engine without creating any —
+// the /metrics and listing paths, which must not allocate state as a
+// side effect.
+func (s *Server) discoveryEngines() []*discover.Engine {
 	s.discoverMu.Lock()
 	defer s.discoverMu.Unlock()
-	return s.discovery
+	out := make([]*discover.Engine, 0, len(s.discovery))
+	for _, e := range s.discovery {
+		out = append(out, e)
+	}
+	return out
 }
 
 // ---- request/response shapes -------------------------------------------
@@ -85,6 +98,10 @@ type ingestRequest struct {
 	Interface string `json:"interface,omitempty"`
 	// Source ingests one interface tree directly instead of HTML.
 	Source *qilabel.Tree `json:"source,omitempty"`
+	// Lexicon selects the lexical knowledge base (version ID or alias;
+	// the X-Lexicon header fills an empty field). Each lexicon owns its
+	// own discovery partition.
+	Lexicon string `json:"lexicon,omitempty"`
 }
 
 // ingestAssignment is the wire form of one form's discover.Assignment.
@@ -164,7 +181,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	eng, err := s.discoverEngine()
+	ropts, apiErr := s.resolveLexicon(lexiconFromRequest(r, requestOptions{Matcher: true, Lexicon: req.Lexicon}))
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	eng, err := s.discoverEngine(ropts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
@@ -206,7 +228,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// /v1/translate (and the snapshot file) see it. A later ingest into
 	// the same domain publishes the newer state under its own key.
 	for id := range touched {
-		if err := s.publishDomain(id); err != nil && !errors.Is(err, discover.ErrUnknownDomain) {
+		if err := s.publishDomain(eng, ropts, id); err != nil && !errors.Is(err, discover.ErrUnknownDomain) {
 			writeAPIError(w, s.apiErrorFor(err))
 			return
 		}
@@ -215,13 +237,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // publishDomain caches one discovered domain's current integration under
-// its canonical key. Unknown IDs are ignored by callers: the domain may
-// have been merged away or evicted by a concurrent ingest.
-func (s *Server) publishDomain(id string) error {
-	eng, err := s.discoverEngine()
-	if err != nil {
-		return err
-	}
+// its canonical key (namespaced by the engine's lexicon via the
+// fingerprint). Unknown IDs are ignored by callers: the domain may have
+// been merged away or evicted by a concurrent ingest.
+func (s *Server) publishDomain(eng *discover.Engine, ropts requestOptions, id string) error {
 	res, key, sources, err := eng.Result(id)
 	if err != nil {
 		return err
@@ -229,55 +248,46 @@ func (s *Server) publishDomain(id string) error {
 	if _, hit := s.cache.Get(key); hit {
 		return nil
 	}
-	s.complete(key, "", sources, requestOptions{Matcher: true}, res)
+	s.complete(key, "", sources, requestOptions{Matcher: true, Lexicon: ropts.Lexicon}, res)
 	return nil
 }
 
 func (s *Server) handleDiscovered(w http.ResponseWriter, r *http.Request) {
-	eng := s.discoveryIfStarted()
-	if eng == nil {
-		// Nothing ingested yet: an empty listing, not an error. The
-		// threshold reported is the one ingestion would run with.
-		thr := s.cfg.DiscoverThreshold
-		if thr == 0 {
-			thr = discover.DefaultThreshold
+	// With nothing ingested yet this is an empty listing, not an error,
+	// and the threshold reported is the one ingestion would run with.
+	thr := s.cfg.DiscoverThreshold
+	if thr == 0 {
+		thr = discover.DefaultThreshold
+	}
+	resp := discoveredResponse{Domains: []discoveredDomainJSON{}, Threshold: thr}
+	for _, eng := range s.discoveryEngines() {
+		infos, err := eng.Domains()
+		if err != nil {
+			writeAPIError(w, s.apiErrorFor(err))
+			return
 		}
-		writeJSON(w, http.StatusOK, discoveredResponse{
-			Domains: []discoveredDomainJSON{}, Threshold: thr,
-		})
-		return
-	}
-	infos, err := eng.Domains()
-	if err != nil {
-		writeAPIError(w, s.apiErrorFor(err))
-		return
-	}
-	resp := discoveredResponse{
-		Domains:   make([]discoveredDomainJSON, 0, len(infos)),
-		Threshold: eng.Threshold(),
-	}
-	for _, info := range infos {
-		resp.Domains = append(resp.Domains, domainJSONOf(info))
+		resp.Threshold = eng.Threshold()
+		for _, info := range infos {
+			resp.Domains = append(resp.Domains, domainJSONOf(info))
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDiscoveredDomain(w http.ResponseWriter, r *http.Request) {
-	eng := s.discoveryIfStarted()
-	if eng == nil {
-		writeDomainNotFound(w)
+	for _, eng := range s.discoveryEngines() {
+		info, err := eng.Domain(r.PathValue("id"))
+		if errors.Is(err, discover.ErrUnknownDomain) {
+			continue
+		}
+		if err != nil {
+			writeAPIError(w, s.apiErrorFor(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, domainJSONOf(info))
 		return
 	}
-	info, err := eng.Domain(r.PathValue("id"))
-	if errors.Is(err, discover.ErrUnknownDomain) {
-		writeDomainNotFound(w)
-		return
-	}
-	if err != nil {
-		writeAPIError(w, s.apiErrorFor(err))
-		return
-	}
-	writeJSON(w, http.StatusOK, domainJSONOf(info))
+	writeDomainNotFound(w)
 }
 
 func domainJSONOf(info discover.DomainInfo) discoveredDomainJSON {
@@ -305,25 +315,24 @@ func writeDomainNotFound(w http.ResponseWriter) {
 		"unknown, merged or evicted domain id; list GET /v1/domains/discovered for live IDs")
 }
 
-// discoverySnapshotOf renders the engine's statistics for /metrics; a nil
-// engine (nothing ingested yet) yields the zero section with the
-// configured threshold.
-func discoverySnapshotOf(eng *discover.Engine, cfgThreshold float64) discoverySnapshot {
+// discoverySnapshotOf renders the engines' statistics for /metrics,
+// summed across every per-lexicon partition; no engines (nothing
+// ingested yet) yields the zero section with the configured threshold.
+func discoverySnapshotOf(engines []*discover.Engine, cfgThreshold float64) discoverySnapshot {
 	d := discoverySnapshot{Threshold: cfgThreshold}
 	if d.Threshold == 0 {
 		d.Threshold = discover.DefaultThreshold
 	}
-	if eng == nil {
-		return d
+	for _, eng := range engines {
+		st := eng.Stats()
+		d.Threshold = eng.Threshold()
+		d.Active += st.Domains
+		d.Forms += st.Forms
+		d.Ingested += st.Ingested
+		d.Duplicates += st.Duplicates
+		d.Created += st.Created
+		d.Merged += st.Merged
+		d.Evicted += st.Evicted
 	}
-	st := eng.Stats()
-	d.Threshold = eng.Threshold()
-	d.Active = st.Domains
-	d.Forms = st.Forms
-	d.Ingested = st.Ingested
-	d.Duplicates = st.Duplicates
-	d.Created = st.Created
-	d.Merged = st.Merged
-	d.Evicted = st.Evicted
 	return d
 }

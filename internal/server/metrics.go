@@ -55,6 +55,21 @@ type metrics struct {
 	endpoints map[string]*endpointStats
 	stages    map[string]*stageStats
 	rules     naming.Counters
+
+	// lexicons tallies integration traffic per lexicon version (keyed by
+	// the resolved content address; the server default under "default").
+	// Per-version hit/miss/coalesced splits are what the tenant-isolation
+	// suite asserts: a tenant's hits can only come from its own column.
+	lexMu    sync.Mutex
+	lexicons map[string]*lexiconCounters
+}
+
+// lexiconCounters is one lexicon version's integration traffic.
+type lexiconCounters struct {
+	requests  int64
+	hits      int64
+	misses    int64
+	coalesced int64
 }
 
 type endpointStats struct {
@@ -79,7 +94,46 @@ func newMetrics() *metrics {
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointStats),
 		stages:    make(map[string]*stageStats),
+		lexicons:  make(map[string]*lexiconCounters),
 	}
+}
+
+// recordLexicon tallies one integration request against its lexicon's
+// column. kind is the request's outcome: statusHit, statusCoalesced or
+// statusComputed (a cache miss that ran, or led, the pipeline).
+func (m *metrics) recordLexicon(label, kind string) {
+	m.lexMu.Lock()
+	defer m.lexMu.Unlock()
+	c := m.lexicons[label]
+	if c == nil {
+		c = &lexiconCounters{}
+		m.lexicons[label] = c
+	}
+	c.requests++
+	switch kind {
+	case statusHit:
+		c.hits++
+	case statusCoalesced:
+		c.coalesced++
+	case statusComputed:
+		c.misses++
+	}
+}
+
+// lexiconUsage snapshots the per-lexicon traffic columns.
+func (m *metrics) lexiconUsage() map[string]lexiconUsageSnapshot {
+	m.lexMu.Lock()
+	defer m.lexMu.Unlock()
+	out := make(map[string]lexiconUsageSnapshot, len(m.lexicons))
+	for label, c := range m.lexicons {
+		out[label] = lexiconUsageSnapshot{
+			Requests:    c.requests,
+			CacheHits:   c.hits,
+			CacheMisses: c.misses,
+			Coalesced:   c.coalesced,
+		}
+	}
+	return out
 }
 
 // record tallies one completed request.
@@ -160,6 +214,7 @@ type snapshot struct {
 	Persistence   persistenceSnapshot         `json:"persistence"`
 	Sessions      sessionsSnapshot            `json:"sessions"`
 	Discovery     discoverySnapshot           `json:"discovery"`
+	Lexicons      lexiconsSnapshot            `json:"lexicons"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
 	Stages        map[string]stageSnapshot    `json:"stages"`
 	Naming        map[string]int              `json:"naming"`
@@ -252,6 +307,29 @@ type sessionsSnapshot struct {
 	DeltaOps             map[string]int64 `json:"deltaOps"`
 	ReusedComponents     int64            `json:"reusedComponents"`
 	RecomputedComponents int64            `json:"recomputedComponents"`
+}
+
+// lexiconsSnapshot is the versioned-lexicon section of /metrics: the
+// registry gauges (versions held, aliases bound) and lifecycle counters,
+// plus one traffic column per lexicon version that served integration
+// requests. Columns are keyed by content address ("default" for the
+// server default), so multi-tenant deployments can read per-tenant cache
+// behavior — and verify isolation — straight off /metrics.
+type lexiconsSnapshot struct {
+	Versions   int                             `json:"versions"`
+	Aliases    int                             `json:"aliases"`
+	Puts       uint64                          `json:"puts"`
+	Evictions  uint64                          `json:"evictions"`
+	Reloads    uint64                          `json:"reloads"`
+	PerLexicon map[string]lexiconUsageSnapshot `json:"perLexicon"`
+}
+
+// lexiconUsageSnapshot is one lexicon version's traffic column.
+type lexiconUsageSnapshot struct {
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Coalesced   int64 `json:"coalesced"`
 }
 
 // discoverySnapshot is the online domain-discovery section of /metrics:

@@ -80,8 +80,13 @@ type Config struct {
 	// Zero: 128. Negative: caching disabled.
 	CacheSize int
 	// Lexicon, when non-nil, replaces the embedded default lexicon for
-	// every request (it participates in cache keys via the fingerprint).
+	// every request that selects no other version (it participates in
+	// cache keys via the fingerprint).
 	Lexicon *qilabel.Lexicon
+	// MaxLexicons caps the versions the lexicon registry holds at once
+	// (alias-pinned and default versions never evict). Zero: the
+	// registry's default bound.
+	MaxLexicons int
 	// Parallelism bounds the worker pool each pipeline computation fans its
 	// parallel stages out over (0: GOMAXPROCS, 1: serial). Never changes
 	// results, so it does not participate in cache keys.
@@ -124,6 +129,13 @@ type Server struct {
 	domainsOnce sync.Once
 	domainsList []domainInfo
 
+	// registry holds every servable lexicon version (see lexicons.go);
+	// defaultID caches the content address of the optionless-request
+	// lexicon, computed once (hashing the embedded lexicon is not free).
+	registry      *qilabel.LexiconRegistry
+	defaultIDOnce sync.Once
+	defaultID     string
+
 	// integrators caches one qilabel.Integrator per distinct request-option
 	// combination: the server's lexicon, parallelism and stage observer are
 	// fixed for its lifetime, so the comparable requestOptions struct fully
@@ -132,12 +144,15 @@ type Server struct {
 	igMu  sync.Mutex
 	igMap map[requestOptions]*qilabel.Integrator
 
-	// discovery is the online domain-discovery engine (see ingest.go),
-	// created lazily on the first /v1/ingest so servers that never ingest
-	// pay nothing. discoverNow, when set before first use, overrides the
-	// engine's clock (tests).
+	// discovery holds one online domain-discovery engine per lexicon
+	// selection (see ingest.go), keyed by the resolved requestOptions
+	// lexicon ("" = the server default) and created lazily on the first
+	// /v1/ingest for that lexicon, so servers that never ingest pay
+	// nothing and tenants never share a discovery partition.
+	// discoverNow, when set before first use, overrides the engines'
+	// clock (tests).
 	discoverMu  sync.Mutex
-	discovery   *discover.Engine
+	discovery   map[string]*discover.Engine
 	discoverNow func() time.Time
 
 	// testHookSlow, when set, runs inside every integration worker before
@@ -191,6 +206,8 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		igMap:   make(map[requestOptions]*qilabel.Integrator),
+
+		registry: qilabel.NewLexiconRegistry(cfg.MaxLexicons),
 	}
 	s.sessions = newSessionStore(cfg.SessionTTL, cfg.MaxSessions, func(n int) {
 		s.metrics.sessionsEvicted.Add(int64(n))
@@ -210,6 +227,11 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/domains/discovered", "/v1/domains/discovered", s.handleDiscovered)
 	s.route("GET /v1/domains/discovered/{id}", "/v1/domains/discovered/{id}", s.handleDiscoveredDomain)
 	s.route("GET /v1/domains", "/v1/domains", s.handleDomains)
+	s.route("GET /v1/lexicons", "/v1/lexicons", s.handleLexiconList)
+	s.route("PUT /v1/lexicons", "/v1/lexicons", s.handleLexiconPut)
+	s.route("GET /v1/lexicons/report", "/v1/lexicons/report", s.handleLexiconReport)
+	s.route("GET /v1/lexicons/{id}", "/v1/lexicons/{id}", s.handleLexiconGet)
+	s.route("PUT /v1/lexicons/{id}", "/v1/lexicons/{id}", s.handleLexiconPutNamed)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	return s
@@ -285,6 +307,14 @@ type requestOptions struct {
 	MaxLevel int `json:"maxLevel,omitempty"`
 	// MinFrequency drops fields on fewer than N source interfaces.
 	MinFrequency int `json:"minFrequency,omitempty"`
+	// Lexicon selects the lexical knowledge base: a registered version ID
+	// or alias, or empty for the server default. The X-Lexicon request
+	// header fills an empty field. Handlers canonicalize the value to the
+	// full content address (resolveLexicon) before anything — integrator
+	// selection, cache keys, session state, discovery partitions — is
+	// keyed on it, so an alias moving under hot reload never re-keys work
+	// already resolved.
+	Lexicon string `json:"lexicon,omitempty"`
 }
 
 // maxIntegrators bounds the per-options Integrator registry so adversarial
@@ -303,8 +333,12 @@ func (s *Server) integrator(o requestOptions) (*qilabel.Integrator, error) {
 	if ig, ok := s.igMap[o]; ok {
 		return ig, nil
 	}
+	lex, err := s.requestLexicon(o)
+	if err != nil {
+		return nil, err
+	}
 	ig, err := qilabel.NewIntegrator(qilabel.Config{
-		Lexicon:          s.cfg.Lexicon,
+		Lexicon:          lex,
 		UseMatcher:       o.Matcher,
 		DisableInstances: o.NoInstances,
 		MaxLevel:         o.MaxLevel,
@@ -401,6 +435,11 @@ type translateRequest struct {
 	Key string `json:"key"`
 	// Query assigns values to integrated fields by cluster name.
 	Query map[string]string `json:"query"`
+	// Lexicon optionally asserts which lexicon version the key belongs
+	// to (the X-Lexicon header fills an empty field). Keys already pin
+	// their lexicon via the fingerprint, so this is a tenant guard, not a
+	// selector: a key minted under a different version answers 404.
+	Lexicon string `json:"lexicon,omitempty"`
 }
 
 type assignmentJSON struct {
@@ -467,6 +506,11 @@ func resolveSources(req integrateRequest) ([]*qilabel.Tree, *apiError) {
 // immediately, but the shared run keeps going while other requests still
 // wait on it; only the last waiter leaving cancels the pipeline.
 func (s *Server) integrate(r *http.Request, w http.ResponseWriter, sources []*qilabel.Tree, domain string, ropts requestOptions) {
+	ropts, apiErr := s.resolveLexicon(lexiconFromRequest(r, ropts))
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
 	ig, err := s.integrator(ropts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
@@ -562,7 +606,21 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 			"unknown or evicted integration key; re-run /v1/integrate and retry")
 		return
 	}
+	if sel := lexiconFromRequest(r, requestOptions{Lexicon: req.Lexicon}); sel.Lexicon != "" {
+		resolved, apiErr := s.resolveLexicon(sel)
+		if apiErr != nil {
+			writeAPIError(w, apiErr)
+			return
+		}
+		if resolved.Lexicon != entry.options.Lexicon {
+			s.metrics.cacheMisses.Add(1)
+			writeError(w, http.StatusNotFound, codeNotFound,
+				"integration key was minted under a different lexicon version; re-run /v1/integrate with this lexicon")
+			return
+		}
+	}
 	s.metrics.cacheHits.Add(1)
+	s.metrics.recordLexicon(lexiconLabel(entry.options.Lexicon), statusHit)
 	res := entry.res
 	if res == nil {
 		// The entry was restored from a disk snapshot, which carries the
@@ -617,7 +675,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.cache.Len(), s.cfg.CacheSize, s.sessions.active())
 	snap.Warm = warmSnapshotOf(s.warmStats())
-	snap.Discovery = discoverySnapshotOf(s.discoveryIfStarted(), s.cfg.DiscoverThreshold)
+	snap.Discovery = discoverySnapshotOf(s.discoveryEngines(), s.cfg.DiscoverThreshold)
+	snap.Lexicons = s.lexiconsMetrics()
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -197,6 +197,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	// The lexicon resolves once, here: the session stays pinned to the
+	// exact version it was created under for its whole life, however many
+	// hot reloads move the alias it was created with.
+	var apiErr *apiError
+	req.Options, apiErr = s.resolveLexicon(lexiconFromRequest(r, req.Options))
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
 	ig, err := s.integrator(req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
@@ -344,6 +353,7 @@ func (s *Server) handleSessionResult(w http.ResponseWriter, r *http.Request) {
 		// /v1/integrate ran): serve the cached response like a warm
 		// integration.
 		s.metrics.cacheHits.Add(1)
+		s.metrics.recordLexicon(lexiconLabel(ls.ropts.Lexicon), statusHit)
 		resp := entry.resp
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)

@@ -174,21 +174,22 @@ func (c Config) Validate() error {
 }
 
 // Fingerprint renders the behavior-affecting part of the configuration as
-// a canonical string: which lexicon (the embedded default, or an 8-byte
-// digest of a custom one), whether the matcher and the instance rules run,
+// a canonical string: which lexicon (the embedded default, or the content
+// address of a custom one), whether the matcher and the instance rules run,
 // the consistency-level cap and the frequency cutoff. Two configurations
 // with the same fingerprint make Integrate behave identically on any
 // input. Parallelism and Observer do not participate: they cannot change
 // the labeling, only how fast it is computed and what is reported about it.
+//
+// The lexicon component is Lexicon.VersionID — a hash of the canonical
+// serialization, not the insertion-ordered wire form — so two tenants
+// holding the same lexical facts share one fingerprint (and one cache
+// namespace) while any factual difference separates them, deterministically
+// across processes.
 func (c Config) Fingerprint() string {
 	lex := "default"
 	if c.Lexicon != nil {
-		if data, err := c.Lexicon.EncodeJSON(); err == nil {
-			sum := sha256.Sum256(data)
-			lex = hex.EncodeToString(sum[:8])
-		} else {
-			lex = "custom"
-		}
+		lex = c.Lexicon.VersionID()
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "lexicon=%s matcher=%t instances=%t maxLevel=%d minFreq=%d",
